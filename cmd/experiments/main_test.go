@@ -1,0 +1,67 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func tinyArgs(table string) []string {
+	return []string{
+		"-table", table,
+		"-sizes", "1500,3000",
+		"-seqs", "1", "-graphs", "1",
+		"-surrogate", "5000",
+		"-seed", "3",
+	}
+}
+
+func TestExperimentsTable6(t *testing.T) {
+	var out strings.Builder
+	if err := run(tinyArgs("6"), &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Table 6") || !strings.Contains(s, "T1+θ_D") {
+		t.Fatalf("output incomplete:\n%s", s)
+	}
+}
+
+func TestExperimentsTable12(t *testing.T) {
+	var out strings.Builder
+	if err := run(tinyArgs("12"), &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Table 12") {
+		t.Fatalf("output incomplete:\n%s", out.String())
+	}
+}
+
+func TestExperimentsCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run(append(tinyArgs("12"), "-csv", dir), &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "table12.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "method") || !strings.Contains(string(data), "T1") {
+		t.Fatalf("CSV incomplete:\n%s", data)
+	}
+}
+
+func TestExperimentsUnknownTable(t *testing.T) {
+	var out strings.Builder
+	if err := run(tinyArgs("99"), &out); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if err := run([]string{"-scale", "galactic"}, &out); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+	if err := run([]string{"-sizes", "12,abc"}, &out); err == nil {
+		t.Fatal("bad sizes accepted")
+	}
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trilist/internal/listing"
+	"trilist/internal/order"
+)
+
+func writeTempGraph(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.txt")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// k4 has 4 triangles.
+const k4 = "0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n"
+
+func TestRunCountsTriangles(t *testing.T) {
+	path := writeTempGraph(t, k4)
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-method", "E1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "triangles=4") {
+		t.Fatalf("output missing count:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "order=descending") {
+		t.Fatalf("auto order for E1 should be descending:\n%s", out.String())
+	}
+}
+
+func TestRunPrintsTriangles(t *testing.T) {
+	path := writeTempGraph(t, k4)
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-method", "T2", "-order", "rr", "-print"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, l := range strings.Split(out.String(), "\n") {
+		if l != "" && !strings.HasPrefix(l, "#") {
+			lines++
+			f := strings.Fields(l)
+			if len(f) != 3 {
+				t.Fatalf("bad triangle line %q", l)
+			}
+		}
+	}
+	if lines != 4 {
+		t.Fatalf("printed %d triangles, want 4", lines)
+	}
+}
+
+func TestRunAllMethodsAndOrders(t *testing.T) {
+	path := writeTempGraph(t, k4)
+	for _, m := range []string{"T1", "t3", "E4", "L6"} {
+		for _, o := range []string{"auto", "asc", "d", "rr", "crr", "uniform", "degen"} {
+			var out strings.Builder
+			if err := run([]string{"-in", path, "-method", m, "-order", o}, &out); err != nil {
+				t.Fatalf("method %s order %s: %v", m, o, err)
+			}
+			if !strings.Contains(out.String(), "triangles=4") {
+				t.Fatalf("method %s order %s wrong:\n%s", m, o, out.String())
+			}
+		}
+	}
+}
+
+func TestRunWorkersAndPartitions(t *testing.T) {
+	path := writeTempGraph(t, k4)
+	for _, extra := range [][]string{
+		{"-workers", "4"},
+		{"-parts", "3"},
+		{"-parts", "2", "-spill", t.TempDir()},
+	} {
+		var out strings.Builder
+		if err := run(append([]string{"-in", path, "-method", "E1"}, extra...), &out); err != nil {
+			t.Fatalf("%v: %v", extra, err)
+		}
+		if !strings.Contains(out.String(), "triangles=4") {
+			t.Fatalf("%v: wrong output:\n%s", extra, out.String())
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeTempGraph(t, k4)
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-method", "T9"}, &out); err == nil {
+		t.Error("unknown method accepted")
+	}
+	if err := run([]string{"-in", path, "-order", "zigzag"}, &out); err == nil {
+		t.Error("unknown order accepted")
+	}
+	if err := run([]string{"-in", "/nonexistent/file"}, &out); err == nil {
+		t.Error("missing file accepted")
+	}
+	bad := writeTempGraph(t, "0 0\n")
+	if err := run([]string{"-in", bad}, &out); err == nil {
+		t.Error("self-loop input accepted")
+	}
+}
+
+func TestParseHelpers(t *testing.T) {
+	if m, err := parseMethod("e5"); err != nil || m != listing.E5 {
+		t.Fatalf("parseMethod(e5) = %v, %v", m, err)
+	}
+	if k, err := parseOrder("auto", listing.E4); err != nil || k != order.KindCRR {
+		t.Fatalf("parseOrder(auto, E4) = %v, %v", k, err)
+	}
+	if k, err := parseOrder("smallest-last", listing.T1); err != nil || k != order.KindDegenerate {
+		t.Fatalf("parseOrder(smallest-last) = %v, %v", k, err)
+	}
+}

@@ -1,0 +1,142 @@
+// Command trimodel evaluates the paper's analytical cost models: the
+// exact discrete model (eq. 50), Algorithm 2, the continuous model
+// (eq. 49), and the n → ∞ limit (Theorem 2), for any method × order ×
+// Pareto(α, β) combination.
+//
+// Usage:
+//
+//	trimodel -method T1 -order descending -alpha 1.5 -n 1e7 \
+//	         [-beta 15] [-trunc linear] [-eval all] [-eps 1e-5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"trilist/internal/degseq"
+	"trilist/internal/listing"
+	"trilist/internal/model"
+	"trilist/internal/order"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trimodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("trimodel", flag.ContinueOnError)
+	methodName := fs.String("method", "T1", "listing method: T1-T6, E1-E6, L1-L6")
+	orderName := fs.String("order", "descending", "order: ascending, descending, round-robin, crr, uniform")
+	alpha := fs.Float64("alpha", 1.5, "Pareto tail index α")
+	beta := fs.Float64("beta", 0, "Pareto scale β (default 30(α-1))")
+	nFlag := fs.Float64("n", 1e6, "graph size n (t_n follows -trunc)")
+	trunc := fs.String("trunc", "linear", "truncation: root or linear")
+	eval := fs.String("eval", "all", "evaluator: discrete, quick, continuous, limit, all")
+	eps := fs.Float64("eps", 1e-5, "Algorithm 2 block-growth ε")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var method listing.Method
+	found := false
+	for _, m := range listing.Methods {
+		if strings.EqualFold(m.String(), *methodName) {
+			method, found = m, true
+		}
+	}
+	if !found {
+		return fmt.Errorf("unknown method %q", *methodName)
+	}
+	var kind order.Kind
+	switch strings.ToLower(*orderName) {
+	case "ascending":
+		kind = order.KindAscending
+	case "descending":
+		kind = order.KindDescending
+	case "round-robin", "rr":
+		kind = order.KindRoundRobin
+	case "crr":
+		kind = order.KindCRR
+	case "uniform":
+		kind = order.KindUniform
+	default:
+		return fmt.Errorf("unknown order %q", *orderName)
+	}
+	if *beta == 0 {
+		if *alpha <= 1 {
+			return fmt.Errorf("default β = 30(α-1) requires α > 1; pass -beta")
+		}
+		*beta = 30 * (*alpha - 1)
+	}
+	p, err := degseq.NewPareto(*alpha, *beta)
+	if err != nil {
+		return err
+	}
+	var tn float64
+	switch strings.ToLower(*trunc) {
+	case "root":
+		tn = float64(degseq.RootTruncation.Tn(int64(*nFlag)))
+	case "linear":
+		tn = *nFlag - 1
+	default:
+		return fmt.Errorf("unknown truncation %q", *trunc)
+	}
+	spec := model.Spec{Method: method, Order: kind}
+	fmt.Fprintf(w, "spec: %v, Pareto(α=%v, β=%v), t_n=%g (%s truncation)\n",
+		spec, *alpha, *beta, tn, strings.ToLower(*trunc))
+
+	want := strings.ToLower(*eval)
+	show := func(name string, f func() (float64, error)) error {
+		t0 := time.Now()
+		v, err := f()
+		if err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintf(w, "%-12s %14.4f   (%v)\n", name, v, time.Since(t0).Round(time.Microsecond))
+		return nil
+	}
+	if want == "discrete" || want == "all" {
+		if tn > 1e9 {
+			fmt.Fprintln(w, "discrete:    skipped (t_n > 1e9; use -eval quick)")
+		} else {
+			tr, err := degseq.NewTruncated(p, int64(tn))
+			if err != nil {
+				return err
+			}
+			if err := show("discrete", func() (float64, error) { return model.DiscreteCost(spec, tr) }); err != nil {
+				return err
+			}
+		}
+	}
+	if want == "quick" || want == "all" {
+		if err := show("quick", func() (float64, error) {
+			return model.QuickCost(spec, model.ParetoTruncatedCDF(p, tn), tn, *eps)
+		}); err != nil {
+			return err
+		}
+	}
+	if want == "continuous" || want == "all" {
+		if err := show("continuous", func() (float64, error) {
+			return model.ContinuousCost(spec, p, tn, 200000)
+		}); err != nil {
+			return err
+		}
+	}
+	if want == "limit" || want == "all" {
+		crit, err := model.FinitenessAlpha(spec)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "finite limit iff α > %.4g\n", crit)
+		if err := show("limit", func() (float64, error) { return model.Limit(spec, p) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}

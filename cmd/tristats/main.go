@@ -1,0 +1,104 @@
+// Command tristats summarizes a graph through the lens of the paper:
+// degree statistics, degeneracy, triangle count, clustering
+// coefficients, the method × order cost matrix (which order to use for
+// which algorithm on THIS graph), and the §2.4 SEI-vs-VI method choice
+// for a given hardware speed ratio.
+//
+// Usage:
+//
+//	tristats -in graph.txt [-matrix] [-speed-ratio 2.9] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"trilist/internal/core"
+	"trilist/internal/experiments"
+	"trilist/internal/graph"
+	"trilist/internal/listing"
+	"trilist/internal/order"
+	"trilist/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tristats:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, w io.Writer) error {
+	fs := flag.NewFlagSet("tristats", flag.ContinueOnError)
+	in := fs.String("in", "", "input edge list file (default stdin)")
+	matrix := fs.Bool("matrix", false, "print the 4-method × 6-order cost matrix (Table 12 layout)")
+	speedRatio := fs.Float64("speed-ratio", 2.9, "SEI-vs-hash per-operation speed ratio for the method choice (§2.4; Table 3 measures ≈95 for SIMD C++, ≈3 for this repo's Go)")
+	seed := fs.Uint64("seed", 1, "seed for the uniform order column")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	g, err := graph.ReadAny(r)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "nodes     %d\n", g.NumNodes())
+	fmt.Fprintf(w, "edges     %d\n", g.NumEdges())
+	fmt.Fprintf(w, "mean deg  %.2f\n", g.MeanDegree())
+	fmt.Fprintf(w, "max deg   %d\n", g.MaxDegree())
+	fmt.Fprintf(w, "degeneracy %d\n", order.Degeneracy(g))
+	_, comps := g.ConnectedComponents()
+	fmt.Fprintf(w, "components %d\n", comps)
+
+	res, err := core.List(g, core.Config{Method: listing.E1, Order: order.KindDescending}, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "triangles %d\n", res.Triangles)
+	gc, err := core.GlobalClustering(g)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "global clustering %.6f\n", gc)
+	local, err := core.LocalClustering(g)
+	if err != nil {
+		return err
+	}
+	sort.Float64s(local)
+	if n := len(local); n > 0 {
+		fmt.Fprintf(w, "local clustering  median %.6f  p90 %.6f\n",
+			local[n/2], local[9*n/10])
+	}
+
+	o, err := core.Prepare(g, core.Config{Order: order.KindDescending})
+	if err != nil {
+		return err
+	}
+	choice, err := core.ChooseForOriented(o, *speedRatio)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "method choice (§2.4): %v  (w_n = %.2f vs speed ratio %.1f)\n",
+		choice.Method, choice.WN, choice.SpeedRatio)
+
+	if *matrix {
+		m, err := experiments.MatrixForGraph(g, 0, stats.NewRNGFromSeed(*seed))
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+		fmt.Fprint(w, m)
+	}
+	return nil
+}

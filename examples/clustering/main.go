@@ -1,0 +1,71 @@
+// Clustering: the classical application of triangle listing the paper's
+// introduction motivates — social-network clustering coefficients.
+// Compares a heavy-tailed "social" graph against an Erdős–Rényi control
+// with the same size, showing both the application API and the paper's
+// point that real-world-like degree sequences concentrate triangles.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"trilist/internal/core"
+	"trilist/internal/degseq"
+	"trilist/internal/gen"
+	"trilist/internal/graph"
+	"trilist/internal/stats"
+)
+
+func main() {
+	const n = 20000
+	rng := stats.NewRNGFromSeed(99)
+
+	// "Social" graph: heavy-tailed Pareto degrees.
+	social, _, err := gen.ParetoGraph(degseq.StandardPareto(1.6), n,
+		degseq.RootTruncation, rng.Child())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Control: Erdős–Rényi with the same edge count.
+	control, err := gen.ErdosRenyi(n, social.NumEdges(), rng.Child())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The two classical network models the paper's intro cites for why
+	// real graphs are triangle-rich: preferential attachment [5] and the
+	// small world [38].
+	ba, err := gen.BarabasiAlbert(n, 14, rng.Child())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws, err := gen.WattsStrogatz(n, 14, 0.1, rng.Child())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	for _, c := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"heavy-tailed (Pareto α=1.6)", social},
+		{"Erdős–Rényi control", control},
+		{"Barabási–Albert (k=14)", ba},
+		{"Watts–Strogatz (k=14, β=0.1)", ws},
+	} {
+		gc, err := core.GlobalClustering(c.g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		local, err := core.LocalClustering(c.g)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sort.Float64s(local)
+		fmt.Printf("%-28s m=%-8d global C=%.5f  median local=%.5f  p90 local=%.5f\n",
+			c.name, c.g.NumEdges(), gc, local[len(local)/2], local[9*len(local)/10])
+	}
+	fmt.Println("\nheavy tails concentrate wedges at hubs: the same edge budget yields")
+	fmt.Println("far more triangles than the uniform control — the regime where the")
+	fmt.Println("paper's orientation analysis matters most")
+}

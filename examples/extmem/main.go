@@ -1,0 +1,52 @@
+// Extmem: triangle listing when the graph exceeds memory — the paper's
+// §8 future-work direction. Partitions the oriented graph into P label
+// ranges, lists per partition triple, and shows the I/O-vs-memory
+// tradeoff: total arcs read grow roughly linearly in P while the
+// resident working set shrinks as 1/P².
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trilist/internal/core"
+	"trilist/internal/degseq"
+	"trilist/internal/extmem"
+	"trilist/internal/gen"
+	"trilist/internal/listing"
+	"trilist/internal/order"
+	"trilist/internal/stats"
+)
+
+func main() {
+	g, _, err := gen.ParetoGraph(degseq.StandardPareto(1.7), 50000,
+		degseq.RootTruncation, stats.NewRNGFromSeed(2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	o, err := core.Prepare(g, core.Config{Order: order.KindDescending})
+	if err != nil {
+		log.Fatal(err)
+	}
+	exact := listing.Count(o, listing.E1)
+	fmt.Printf("graph: n=%d m=%d, %d triangles (in-memory reference)\n\n",
+		g.NumNodes(), g.NumEdges(), exact)
+	fmt.Printf("%6s %10s %14s %14s %12s\n", "P", "passes", "arcs read", "read/m", "triangles")
+	for _, parts := range []int{1, 2, 4, 8, 16} {
+		store := extmem.NewMemStore()
+		res, err := extmem.Run(o, parts, store, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		store.Close()
+		if res.Triangles != exact {
+			log.Fatalf("P=%d found %d triangles, want %d", parts, res.Triangles, exact)
+		}
+		fmt.Printf("%6d %10d %14d %13.1fx %12d\n",
+			parts, res.Passes, res.IO.ArcsRead,
+			float64(res.IO.ArcsRead)/float64(g.NumEdges()), res.Triangles)
+	}
+	fmt.Println("\neach block is read once per partition triple it joins, so I/O")
+	fmt.Println("scales ~linearly with P while peak memory shrinks — the classical")
+	fmt.Println("external-memory tradeoff the companion paper [17] models")
+}

@@ -1,0 +1,67 @@
+// Modelfit: a miniature of the paper's Table 6 — simulated cost of
+// T1 under θ_A and θ_D versus the analytical model (50), as n grows,
+// with the n → ∞ limit. Shows how tightly the Glivenko-Cantelli model
+// tracks real AMRC graphs at modest sizes.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"trilist/internal/core"
+	"trilist/internal/degseq"
+	"trilist/internal/gen"
+	"trilist/internal/listing"
+	"trilist/internal/order"
+	"trilist/internal/stats"
+)
+
+func main() {
+	pareto := degseq.StandardPareto(1.5)
+	rng := stats.NewRNGFromSeed(20170514)
+	cols := []struct {
+		name string
+		kind order.Kind
+	}{
+		{"T1+θ_A", order.KindAscending},
+		{"T1+θ_D", order.KindDescending},
+	}
+	fmt.Printf("%-8s | %10s %10s %7s | %10s %10s %7s\n",
+		"n", "sim", "(50)", "err", "sim", "(50)", "err")
+	for _, n := range []int{10000, 40000, 160000} {
+		tr, err := degseq.TruncateFor(pareto, degseq.RootTruncation, int64(n))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d |", n)
+		for _, c := range cols {
+			var sim stats.Sample
+			for rep := 0; rep < 3; rep++ {
+				g, _, err := gen.ParetoGraph(pareto, n, degseq.RootTruncation, rng.Child())
+				if err != nil {
+					log.Fatal(err)
+				}
+				res, err := core.List(g, core.Config{Method: listing.T1, Order: c.kind}, nil)
+				if err != nil {
+					log.Fatal(err)
+				}
+				sim.Add(float64(res.ModelOps()) / float64(n))
+			}
+			pred, err := core.PredictCost(listing.T1, c.kind, tr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %10.1f %10.1f %6.1f%% |", sim.Mean(), pred,
+				100*stats.RelErr(pred, sim.Mean()))
+		}
+		fmt.Println()
+	}
+	limD, err := core.PredictLimit(listing.T1, order.KindDescending, pareto)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s | %10s %10s %7s | %10s %10.1f %7s\n",
+		"inf", "", "inf", "", "", limD, "")
+	fmt.Println("\n(θ_A diverges at α=1.5 — its finiteness threshold is α>2 — while")
+	fmt.Println(" θ_D converges to the printed limit; paper Table 6)")
+}

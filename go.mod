@@ -1,0 +1,3 @@
+module trilist
+
+go 1.22

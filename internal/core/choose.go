@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"trilist/internal/degseq"
+	"trilist/internal/digraph"
+	"trilist/internal/graph"
+	"trilist/internal/listing"
+	"trilist/internal/model"
+	"trilist/internal/order"
+)
+
+// This file implements the paper's §2.4 runtime decision rule between
+// the best scanning edge iterator (E1+θ_D) and the best vertex iterator
+// (T1+θ_D): SEI performs w_n times more operations — where w_n is the
+// ratio of E1's best cost to T1's best — but each operation is
+// speedRatio times faster (Table 3 measures ≈95× on the authors' SIMD
+// hardware; experiments.Table3 measures the analogous ratio for this
+// build). SEI therefore wins iff w_n < speedRatio. The only
+// hardware-independent case is α ∈ (4/3, 1.5] as n → ∞, where w_n → ∞
+// and T1 always wins (§6.3).
+
+// Choice reports the method selection and the quantities behind it.
+type Choice struct {
+	// Method is E1 when w_n < speedRatio, else T1.
+	Method listing.Method
+	// WN is the operation ratio c(E1, θ_D)/c(T1, θ_D).
+	WN float64
+	// SpeedRatio is the per-operation SEI speed advantage assumed.
+	SpeedRatio float64
+}
+
+// ChooseForOriented applies the §2.4 rule to an already-prepared
+// descending orientation: both costs are evaluated exactly from the
+// orientation's degree sums.
+func ChooseForOriented(o *digraph.Oriented, speedRatio float64) (Choice, error) {
+	if speedRatio <= 0 {
+		return Choice{}, fmt.Errorf("core: speed ratio must be positive, got %v", speedRatio)
+	}
+	t1 := listing.ModelCost(o, listing.T1)
+	e1 := listing.ModelCost(o, listing.E1)
+	wn := math.Inf(1)
+	if t1 > 0 {
+		wn = e1 / t1
+	} else if e1 == 0 {
+		wn = 1
+	}
+	c := Choice{WN: wn, SpeedRatio: speedRatio, Method: listing.T1}
+	if wn < speedRatio {
+		c.Method = listing.E1
+	}
+	return c, nil
+}
+
+// CountAuto counts triangles with the method the §2.4 rule selects for
+// this graph and hardware speed ratio: it prepares the descending
+// orientation once, evaluates w_n from its degree sums, and runs the
+// winner (E1 when w_n < speedRatio, else T1). Returns the count and the
+// choice made.
+func CountAuto(g *graph.Graph, speedRatio float64) (int64, Choice, error) {
+	o, err := Prepare(g, Config{Order: order.KindDescending})
+	if err != nil {
+		return 0, Choice{}, err
+	}
+	choice, err := ChooseForOriented(o, speedRatio)
+	if err != nil {
+		return 0, Choice{}, err
+	}
+	return listing.Run(o, choice.Method, nil).Triangles, choice, nil
+}
+
+// ChooseForDist applies the rule to a degree distribution via the
+// analytical models (eq. 50 under θ_D for both methods), answering the
+// question before any graph is built. For distributions whose E1 limit
+// is infinite while T1's is finite (Pareto α ∈ (4/3, 1.5]), w_n grows
+// without bound and T1 wins for every large n regardless of hardware.
+func ChooseForDist(dist degseq.Dist, speedRatio float64) (Choice, error) {
+	if speedRatio <= 0 {
+		return Choice{}, fmt.Errorf("core: speed ratio must be positive, got %v", speedRatio)
+	}
+	t1, err := model.DiscreteCost(model.Spec{Method: listing.T1, Order: order.KindDescending}, dist)
+	if err != nil {
+		return Choice{}, err
+	}
+	e1, err := model.DiscreteCost(model.Spec{Method: listing.E1, Order: order.KindDescending}, dist)
+	if err != nil {
+		return Choice{}, err
+	}
+	wn := math.Inf(1)
+	if t1 > 0 {
+		wn = e1 / t1
+	}
+	c := Choice{WN: wn, SpeedRatio: speedRatio, Method: listing.T1}
+	if wn < speedRatio {
+		c.Method = listing.E1
+	}
+	return c, nil
+}

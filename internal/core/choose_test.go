@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"trilist/internal/degseq"
+	"trilist/internal/gen"
+	"trilist/internal/listing"
+	"trilist/internal/order"
+	"trilist/internal/stats"
+)
+
+func TestChooseForOriented(t *testing.T) {
+	g, _, err := gen.ParetoGraph(degseq.StandardPareto(1.7), 20000,
+		degseq.RootTruncation, stats.NewRNGFromSeed(88))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o, err := Prepare(g, Config{Order: order.KindDescending})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// By Prop. 2, w_n = 1 + T2/T1 > 1 always.
+	choice, err := ChooseForOriented(o, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if choice.WN <= 1 {
+		t.Fatalf("w_n = %v, must exceed 1", choice.WN)
+	}
+	// With the paper's 95× SIMD speed ratio, E1 wins this workload.
+	if choice.Method != listing.E1 {
+		t.Fatalf("with ratio 95 expected E1, got %v (w_n=%v)", choice.Method, choice.WN)
+	}
+	// With speed parity, the fewer-operations method (T1) must win.
+	parity, err := ChooseForOriented(o, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parity.Method != listing.T1 {
+		t.Fatalf("with ratio 1 expected T1, got %v", parity.Method)
+	}
+	if _, err := ChooseForOriented(o, 0); err == nil {
+		t.Fatal("non-positive speed ratio accepted")
+	}
+}
+
+func TestCountAuto(t *testing.T) {
+	g, _, err := gen.ParetoGraph(degseq.StandardPareto(1.8), 5000,
+		degseq.RootTruncation, stats.NewRNGFromSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Count(g, Config{Method: listing.T1, Order: order.KindDescending})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ratio := range []float64{1, 95} {
+		got, choice, err := CountAuto(g, ratio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("ratio %v: count %d, want %d", ratio, got, want)
+		}
+		if ratio == 1 && choice.Method != listing.T1 {
+			t.Fatalf("ratio 1 chose %v", choice.Method)
+		}
+		if ratio == 95 && choice.Method != listing.E1 {
+			t.Fatalf("ratio 95 chose %v", choice.Method)
+		}
+	}
+	if _, _, err := CountAuto(g, -1); err == nil {
+		t.Fatal("negative ratio accepted")
+	}
+}
+
+func TestChooseForDistDivergingWN(t *testing.T) {
+	// α = 1.45 ∈ (4/3, 1.5]: T1+θ_D converges, E1+θ_D diverges, so the
+	// model-level w_n must grow with n — the regime where T1 wins on any
+	// hardware as n → ∞ (§6.3).
+	p := degseq.StandardPareto(1.45)
+	var prev float64
+	for i, n := range []int64{1e4, 1e6, 1e8} {
+		tr, err := degseq.TruncateFor(p, degseq.RootTruncation, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c, err := ChooseForDist(tr, 95)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 && c.WN <= prev {
+			t.Fatalf("w_n not growing: %v -> %v", prev, c.WN)
+		}
+		prev = c.WN
+	}
+	// At a light tail both limits are finite; w_n stabilizes and with a
+	// large enough hardware ratio E1 is chosen.
+	tr, _ := degseq.TruncateFor(degseq.StandardPareto(2.5), degseq.RootTruncation, 1e6)
+	c, err := ChooseForDist(tr, 95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Method != listing.E1 || math.IsInf(c.WN, 1) {
+		t.Fatalf("light tail with 95x: %+v", c)
+	}
+	if _, err := ChooseForDist(tr, -1); err == nil {
+		t.Fatal("negative ratio accepted")
+	}
+}

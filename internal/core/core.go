@@ -1,0 +1,185 @@
+// Package core is the library's high-level façade: it wires the paper's
+// three-step framework (§2.1) — relabel by a global order, orient each
+// edge toward the smaller label, list triangles in ascending order — into
+// one call, and exposes the analytical cost predictions next to measured
+// costs so users can pick a method/order pair before paying for a run.
+//
+// Typical use:
+//
+//	g, _ := graph.ReadEdgeList(f)
+//	res, _ := core.List(g, core.Config{Method: listing.T1, Order: order.KindDescending},
+//	    func(x, y, z int32) { ... })
+//	fmt.Println(res.Triangles, res.ModelOps())
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"trilist/internal/degseq"
+	"trilist/internal/digraph"
+	"trilist/internal/graph"
+	"trilist/internal/listing"
+	"trilist/internal/model"
+	"trilist/internal/order"
+	"trilist/internal/stats"
+)
+
+// Config selects the listing method and preprocessing order.
+type Config struct {
+	// Method is the listing algorithm; the paper's recommended choices
+	// are T1 (+ Descending), T2 (+ RoundRobin), E1 (+ Descending), and
+	// E4 (+ CRR). Defaults to T1.
+	Method listing.Method
+	// Order is the relabeling permutation. Defaults to KindDescending,
+	// the optimal order for the default method.
+	Order order.Kind
+	// Seed feeds the RNG used by KindUniform; other orders ignore it.
+	Seed uint64
+	// Workers > 1 partitions the listing sweep across that many
+	// goroutines (the visitor must then be concurrency-safe); 0 or 1
+	// runs serially. Results are identical either way.
+	Workers int
+}
+
+// Recommended returns the paper-optimal order for the method
+// (Corollaries 1–2): θ_D for T1/T4/E1/E2/L2/L6-shaped costs, θ_A for
+// their reverses, RR for T2/T5/L1/L3, and CRR for E4/E6/L4/L5.
+func Recommended(m listing.Method) order.Kind {
+	switch m {
+	case listing.T1, listing.T4, listing.E1, listing.E2, listing.L2, listing.L6:
+		return order.KindDescending
+	case listing.T3, listing.T6, listing.E3, listing.L4:
+		return order.KindAscending
+	case listing.T2, listing.T5, listing.L1, listing.L3:
+		return order.KindRoundRobin
+	case listing.E4, listing.E6, listing.E5, listing.L5:
+		return order.KindCRR
+	default:
+		return order.KindDescending
+	}
+}
+
+// Result reports one listing run.
+type Result struct {
+	listing.Stats
+	// Order actually used.
+	Order order.Kind
+	// MaxOutDeg is max_i X_i(θ) of the orientation.
+	MaxOutDeg int64
+	// PrepTime covers relabel + orient; ListTime covers the traversal.
+	PrepTime, ListTime time.Duration
+}
+
+// Prepare performs steps 1–2 of the framework: relabel g by cfg.Order and
+// orient the edges. The returned digraph can be reused across methods.
+func Prepare(g *graph.Graph, cfg Config) (*digraph.Oriented, error) {
+	var rng *stats.RNG
+	if cfg.Order == order.KindUniform {
+		rng = stats.NewRNGFromSeed(cfg.Seed)
+	}
+	rank, err := order.Rank(g, cfg.Order, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: relabeling: %w", err)
+	}
+	o, err := digraph.Orient(g, rank)
+	if err != nil {
+		return nil, fmt.Errorf("core: orientation: %w", err)
+	}
+	return o, nil
+}
+
+// List runs the configured method over g and reports each triangle to
+// visit (which may be nil) with relabeled IDs x < y < z.
+func List(g *graph.Graph, cfg Config, visit listing.Visitor) (Result, error) {
+	t0 := time.Now()
+	o, err := Prepare(g, cfg)
+	if err != nil {
+		return Result{}, err
+	}
+	t1 := time.Now()
+	var st listing.Stats
+	if cfg.Workers > 1 {
+		st = listing.RunParallel(o, cfg.Method, cfg.Workers, visit)
+	} else {
+		st = listing.Run(o, cfg.Method, visit)
+	}
+	t2 := time.Now()
+	return Result{
+		Stats:     st,
+		Order:     cfg.Order,
+		MaxOutDeg: o.MaxOutDeg(),
+		PrepTime:  t1.Sub(t0),
+		ListTime:  t2.Sub(t1),
+	}, nil
+}
+
+// Count returns the number of triangles in g using the configured method.
+func Count(g *graph.Graph, cfg Config) (int64, error) {
+	res, err := List(g, cfg, nil)
+	if err != nil {
+		return 0, err
+	}
+	return res.Triangles, nil
+}
+
+// PredictCost returns the analytical per-node cost prediction for running
+// the spec on graphs with the given truncated degree distribution
+// (eq. 50 / eq. 30). Multiply by n for total operations.
+func PredictCost(m listing.Method, k order.Kind, dist degseq.Dist) (float64, error) {
+	return model.DiscreteCost(model.Spec{Method: m, Order: k}, dist)
+}
+
+// PredictLimit returns the n → ∞ per-node cost for a Pareto degree law
+// (Theorem 2), +Inf below the finiteness threshold.
+func PredictLimit(m listing.Method, k order.Kind, p degseq.Pareto) (float64, error) {
+	return model.Limit(model.Spec{Method: m, Order: k}, p)
+}
+
+// GlobalClustering returns the global clustering coefficient
+// 3·triangles / open-wedges of g — the canonical triangle-listing
+// application the paper's introduction motivates.
+func GlobalClustering(g *graph.Graph) (float64, error) {
+	tri, err := Count(g, Config{Method: listing.E1, Order: order.KindDescending})
+	if err != nil {
+		return 0, err
+	}
+	var wedges int64
+	for v := 0; v < g.NumNodes(); v++ {
+		d := int64(g.Degree(int32(v)))
+		wedges += d * (d - 1) / 2
+	}
+	if wedges == 0 {
+		return 0, nil
+	}
+	return 3 * float64(tri) / float64(wedges), nil
+}
+
+// LocalClustering returns each node's local clustering coefficient:
+// triangles through v divided by C(deg(v), 2).
+func LocalClustering(g *graph.Graph) ([]float64, error) {
+	triAt := make([]int64, g.NumNodes())
+	cfg := Config{Method: listing.E1, Order: order.KindDescending}
+	o, err := Prepare(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	// Track labels back to original IDs.
+	invRank := make([]int32, g.NumNodes())
+	for v := 0; v < g.NumNodes(); v++ {
+		invRank[o.Rank(int32(v))] = int32(v)
+	}
+	listing.Run(o, cfg.Method, func(x, y, z int32) {
+		triAt[invRank[x]]++
+		triAt[invRank[y]]++
+		triAt[invRank[z]]++
+	})
+	cc := make([]float64, g.NumNodes())
+	for v := range cc {
+		d := int64(g.Degree(int32(v)))
+		if d >= 2 {
+			cc[v] = float64(triAt[v]) / float64(d*(d-1)/2)
+		}
+	}
+	return cc, nil
+}

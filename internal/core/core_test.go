@@ -1,0 +1,216 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"trilist/internal/degseq"
+	"trilist/internal/gen"
+	"trilist/internal/graph"
+	"trilist/internal/listing"
+	"trilist/internal/order"
+	"trilist/internal/stats"
+)
+
+func testGraph(t *testing.T) *graph.Graph {
+	t.Helper()
+	g, err := gen.ErdosRenyi(100, 800, stats.NewRNGFromSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestCountConsistentAcrossConfigs(t *testing.T) {
+	g := testGraph(t)
+	want, err := Count(g, Config{Method: listing.T1, Order: order.KindDescending})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want == 0 {
+		t.Fatal("no triangles in test graph")
+	}
+	for _, m := range listing.Core {
+		for _, k := range order.Kinds {
+			got, err := Count(g, Config{Method: m, Order: k, Seed: 9})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%v+%v: %d triangles, want %d", m, k, got, want)
+			}
+		}
+	}
+}
+
+func TestListResultMeters(t *testing.T) {
+	g := testGraph(t)
+	calls := 0
+	res, err := List(g, Config{Method: listing.E1, Order: order.KindDescending},
+		func(x, y, z int32) { calls++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(calls) != res.Triangles {
+		t.Fatalf("visitor called %d times, %d triangles", calls, res.Triangles)
+	}
+	if res.ModelOps() <= 0 || res.MaxOutDeg <= 0 {
+		t.Fatal("meters not populated")
+	}
+	if res.Order != order.KindDescending {
+		t.Fatal("order not recorded")
+	}
+}
+
+func TestRecommendedOrders(t *testing.T) {
+	// The paper's optimality results.
+	if Recommended(listing.T1) != order.KindDescending ||
+		Recommended(listing.E1) != order.KindDescending ||
+		Recommended(listing.T2) != order.KindRoundRobin ||
+		Recommended(listing.E4) != order.KindCRR ||
+		Recommended(listing.T3) != order.KindAscending {
+		t.Fatal("recommended orders disagree with Corollaries 1-2")
+	}
+	// Recommended must actually be no worse than the other named
+	// degree-based orders on a heavy-tailed instance.
+	p := degseq.StandardPareto(1.7)
+	g, _, err := gen.ParetoGraph(p, 5000, degseq.RootTruncation, stats.NewRNGFromSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range listing.Core {
+		best, err := List(g, Config{Method: m, Order: Recommended(m)}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []order.Kind{order.KindAscending, order.KindDescending,
+			order.KindRoundRobin, order.KindCRR} {
+			res, err := List(g, Config{Method: m, Order: k}, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if float64(res.ModelOps()) < 0.95*float64(best.ModelOps()) {
+				t.Errorf("%v: order %v ops %d beat recommended %v ops %d by >5%%",
+					m, k, res.ModelOps(), Recommended(m), best.ModelOps())
+			}
+		}
+	}
+}
+
+func TestPredictCostTracksMeasured(t *testing.T) {
+	// The eq. (50) prediction should land within a few percent of the
+	// measured per-node cost on an AMRC instance (the Table 6 story).
+	p := degseq.StandardPareto(1.5)
+	n := 20000
+	tr, err := degseq.TruncateFor(p, degseq.RootTruncation, int64(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNGFromSeed(12)
+	var sim stats.Sample
+	for i := 0; i < 5; i++ {
+		g, _, err := gen.ParetoGraph(p, n, degseq.RootTruncation, rng.Child())
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := List(g, Config{Method: listing.T1, Order: order.KindDescending}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Add(float64(res.ModelOps()) / float64(n))
+	}
+	pred, err := PredictCost(listing.T1, order.KindDescending, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim.Mean()-pred)/pred > 0.10 {
+		t.Fatalf("sim %v vs predicted %v", sim.Mean(), pred)
+	}
+}
+
+func TestPredictLimit(t *testing.T) {
+	p := degseq.StandardPareto(1.5)
+	lim, err := PredictLimit(listing.T1, order.KindDescending, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lim-356.3)/356.3 > 0.005 {
+		t.Fatalf("limit %v, want ≈356.3 (paper Table 6)", lim)
+	}
+	inf, err := PredictLimit(listing.E1, order.KindDescending, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(inf, 1) {
+		t.Fatalf("E1 limit at α=1.5 should be +Inf, got %v", inf)
+	}
+}
+
+func TestGlobalClusteringKnownGraphs(t *testing.T) {
+	// K4: every wedge closes; coefficient 1.
+	var edges []graph.Edge
+	for i := int32(0); i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+		}
+	}
+	k4, _ := graph.FromEdges(4, edges, false)
+	if cc, err := GlobalClustering(k4); err != nil || math.Abs(cc-1) > 1e-12 {
+		t.Fatalf("K4 clustering = %v (%v), want 1", cc, err)
+	}
+	// Star: no triangles.
+	star, _ := graph.FromEdges(4, []graph.Edge{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}}, false)
+	if cc, err := GlobalClustering(star); err != nil || cc != 0 {
+		t.Fatalf("star clustering = %v (%v), want 0", cc, err)
+	}
+	// Edgeless graph: zero wedges handled.
+	empty, _ := graph.FromEdges(3, nil, false)
+	if cc, err := GlobalClustering(empty); err != nil || cc != 0 {
+		t.Fatalf("empty clustering = %v (%v)", cc, err)
+	}
+}
+
+func TestLocalClustering(t *testing.T) {
+	// Triangle with a pendant at node 2: nodes 0,1 have cc=1; node 2 has
+	// 1 triangle of C(3,2)=3 wedges; node 3 has degree 1 → 0.
+	g, _ := graph.FromEdges(4, []graph.Edge{
+		{U: 0, V: 1}, {U: 0, V: 2}, {U: 1, V: 2}, {U: 2, V: 3},
+	}, false)
+	cc, err := LocalClustering(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 1.0 / 3, 0}
+	for i := range want {
+		if math.Abs(cc[i]-want[i]) > 1e-12 {
+			t.Fatalf("cc = %v, want %v", cc, want)
+		}
+	}
+}
+
+func TestWorkersMatchSerial(t *testing.T) {
+	g := testGraph(t)
+	serial, err := List(g, Config{Method: listing.E1, Order: order.KindDescending}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := List(g, Config{Method: listing.E1, Order: order.KindDescending, Workers: 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if par.Stats != serial.Stats {
+		t.Fatalf("parallel stats %+v != serial %+v", par.Stats, serial.Stats)
+	}
+}
+
+func TestUniformOrderDeterministicBySeed(t *testing.T) {
+	g := testGraph(t)
+	r1, err := List(g, Config{Method: listing.T2, Order: order.KindUniform, Seed: 42}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, _ := List(g, Config{Method: listing.T2, Order: order.KindUniform, Seed: 42}, nil)
+	if r1.ModelOps() != r2.ModelOps() {
+		t.Fatal("uniform order not deterministic by seed")
+	}
+}

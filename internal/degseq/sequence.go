@@ -1,0 +1,151 @@
+package degseq
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"trilist/internal/stats"
+)
+
+// Sequence is a degree sequence D_n = (D_n1, ..., D_nn): the prescribed
+// degree of each of the n nodes of a random graph. Entries are positive.
+type Sequence []int64
+
+// Sample draws an iid degree sequence of length n from dist using
+// inverse-CDF sampling (the paper's discretization "round up each
+// generated value" is already baked into the discrete distributions).
+func Sample(dist Dist, n int, rng *stats.RNG) Sequence {
+	d := make(Sequence, n)
+	for i := range d {
+		d[i] = dist.Quantile(rng.OpenFloat64())
+	}
+	return d
+}
+
+// Sum returns Σ d_i, i.e. twice the number of edges when realizable.
+func (d Sequence) Sum() int64 {
+	var s int64
+	for _, x := range d {
+		s += x
+	}
+	return s
+}
+
+// Max returns the largest degree L_n, or 0 for an empty sequence.
+func (d Sequence) Max() int64 {
+	var m int64
+	for _, x := range d {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// Mean returns the average degree.
+func (d Sequence) Mean() float64 {
+	if len(d) == 0 {
+		return math.NaN()
+	}
+	return float64(d.Sum()) / float64(len(d))
+}
+
+// Validate checks that every entry is in [1, n-1] (required for a simple
+// graph) and returns a descriptive error otherwise.
+func (d Sequence) Validate() error {
+	n := int64(len(d))
+	for i, x := range d {
+		if x < 1 {
+			return fmt.Errorf("degseq: degree[%d] = %d < 1", i, x)
+		}
+		if x > n-1 {
+			return fmt.Errorf("degseq: degree[%d] = %d exceeds n-1 = %d", i, x, n-1)
+		}
+	}
+	return nil
+}
+
+// IsRootConstrained reports whether L_n <= √n, the deterministic AMRC
+// guarantee of root truncation (Definition 1, §3.1).
+func (d Sequence) IsRootConstrained() bool {
+	max := d.Max()
+	return max*max <= int64(len(d))
+}
+
+// SortedAscending returns a copy of the sequence sorted ascending: the
+// vector A_n of order statistics the paper's permutations act on.
+func (d Sequence) SortedAscending() Sequence {
+	a := make(Sequence, len(d))
+	copy(a, d)
+	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	return a
+}
+
+// MakeEven decrements one maximal entry by 1 if the degree sum is odd,
+// mirroring the paper's "can be made [graphic] by removal of one edge".
+// Entries equal to 1 are never driven to 0: if the only odd-sum fix would
+// zero a degree, the smallest entry > 1 is used. It reports whether a
+// modification was made.
+func (d Sequence) MakeEven() bool {
+	if d.Sum()%2 == 0 {
+		return false
+	}
+	// Prefer decrementing a maximal entry: it perturbs the distribution
+	// tail by the least relative amount.
+	best := -1
+	for i, x := range d {
+		if x > 1 && (best < 0 || x > d[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		// All entries are 1 and the sum is odd; drop one node's stub.
+		// The generator will leave the stub unmatched instead.
+		return false
+	}
+	d[best]--
+	return true
+}
+
+// IsGraphic reports whether the sequence is graphic — realizable by a
+// simple undirected graph — using the Erdős–Gallai theorem: with
+// d_1 >= ... >= d_n,
+//
+//	Σ_{i<=k} d_i  <=  k(k-1) + Σ_{i>k} min(d_i, k)   for every k,
+//
+// and the degree sum even. Runs in O(n log n) (dominated by the sort).
+func (d Sequence) IsGraphic() bool {
+	n := len(d)
+	if n == 0 {
+		return true
+	}
+	if d.Sum()%2 != 0 {
+		return false
+	}
+	desc := make([]int64, n)
+	copy(desc, d)
+	sort.Slice(desc, func(i, j int) bool { return desc[i] > desc[j] })
+	if desc[0] > int64(n-1) || desc[n-1] < 0 {
+		return false
+	}
+	// Prefix sums of the descending sequence.
+	prefix := make([]int64, n+1)
+	for i, x := range desc {
+		prefix[i+1] = prefix[i] + x
+	}
+	// For each k, Σ_{i>k} min(d_i, k) splits at the first index (0-based,
+	// beyond k) where d_i < k: before it the min is k, after it the sum of
+	// degrees. Because desc is sorted, that index is found by binary
+	// search; overall O(n log n).
+	for k := 1; k <= n; k++ {
+		lhs := prefix[k]
+		// First index j in [k, n) with desc[j] < k.
+		j := sort.Search(n-k, func(t int) bool { return desc[k+t] < int64(k) }) + k
+		rhs := int64(k*(k-1)) + int64(j-k)*int64(k) + (prefix[n] - prefix[j])
+		if lhs > rhs {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,287 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"trilist/internal/listing"
+	"trilist/internal/order"
+)
+
+// tinyConfig keeps test runtime low while exercising the full protocol.
+func tinyConfig() Config {
+	return Config{
+		Sizes:      []int{2000, 8000},
+		Seqs:       2,
+		Graphs:     2,
+		Seed:       7,
+		SurrogateN: 30000,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := Config{}
+	if _, err := Table6(bad); err == nil {
+		t.Error("empty config accepted")
+	}
+	bad = Config{Sizes: []int{5}, Seqs: 1, Graphs: 1}
+	if _, err := Table6(bad); err == nil {
+		t.Error("tiny size accepted")
+	}
+	bad = Config{Sizes: []int{1000}, Seqs: 0, Graphs: 1}
+	if _, err := Table6(bad); err == nil {
+		t.Error("zero sequences accepted")
+	}
+}
+
+func TestTable6ShapeAndAccuracy(t *testing.T) {
+	tab, err := Table6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		// Root truncation is AMRC: the paper reports errors within a few
+		// percent even at n = 10⁴ (Table 6). Allow slack for our smaller
+		// instance counts.
+		for i := 0; i < 2; i++ {
+			if math.Abs(r.Err[i]) > 0.10 {
+				t.Errorf("n=%d col=%d: model error %.1f%% too large", r.N, i, 100*r.Err[i])
+			}
+			if r.Sim[i] <= 0 || r.Model[i] <= 0 {
+				t.Errorf("n=%d col=%d: non-positive cost", r.N, i)
+			}
+		}
+		// θ_D must beat θ_A for T1 decisively.
+		if !(r.Sim[1] < r.Sim[0]/2) {
+			t.Errorf("n=%d: θ_D cost %v not ≪ θ_A cost %v", r.N, r.Sim[1], r.Sim[0])
+		}
+	}
+	// Costs grow with n toward the (finite) θ_D limit; θ_A diverges.
+	if !(tab.Rows[1].Sim[0] > tab.Rows[0].Sim[0]) {
+		t.Error("θ_A cost should grow with n")
+	}
+	if !math.IsInf(tab.Limit[0], 1) {
+		t.Error("θ_A limit should be +Inf at α=1.5")
+	}
+	if math.Abs(tab.Limit[1]-356.3)/356.3 > 0.005 {
+		t.Errorf("θ_D limit %v, want ≈356.3", tab.Limit[1])
+	}
+	out := tab.String()
+	if !strings.Contains(out, "Table 6") || !strings.Contains(out, "inf") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestTable7RoundRobinWins(t *testing.T) {
+	tab, err := Table7(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range tab.Rows {
+		if !(r.Sim[1] < r.Sim[0]) {
+			t.Errorf("n=%d: RR cost %v should beat θ_D cost %v for T2", r.N, r.Sim[1], r.Sim[0])
+		}
+		for i := 0; i < 2; i++ {
+			if math.Abs(r.Err[i]) > 0.12 {
+				t.Errorf("n=%d col=%d: error %.1f%%", r.N, i, 100*r.Err[i])
+			}
+		}
+	}
+	// Paper limits: 1307.6 and 770.4.
+	if math.Abs(tab.Limit[0]-1307.6)/1307.6 > 0.005 ||
+		math.Abs(tab.Limit[1]-770.4)/770.4 > 0.005 {
+		t.Errorf("limits %v, want ≈(1307.6, 770.4)", tab.Limit)
+	}
+}
+
+func TestTable8FiniteAndConverging(t *testing.T) {
+	tab, err := Table8(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// α = 2.1 linear truncation: limits 181.5 and 384.3 (paper Table 8).
+	if math.Abs(tab.Limit[0]-181.5)/181.5 > 0.005 ||
+		math.Abs(tab.Limit[1]-384.3)/384.3 > 0.005 {
+		t.Errorf("limits %v, want ≈(181.5, 384.3)", tab.Limit)
+	}
+	// T1+θ_D converges fast here; by n=8000 sim should be within ~15% of
+	// the limit.
+	last := tab.Rows[len(tab.Rows)-1]
+	if math.Abs(last.Sim[0]-tab.Limit[0])/tab.Limit[0] > 0.15 {
+		t.Errorf("T1+θ_D sim %v far from limit %v", last.Sim[0], tab.Limit[0])
+	}
+}
+
+func TestTable9UnconstrainedBehavior(t *testing.T) {
+	tab, err := Table9(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's Table 9: under linear truncation the model errs high
+	// for θ_D at small n (it over-counts edges to the hubs) — check sign
+	// pattern loosely: model >= sim for the θ_D column.
+	for _, r := range tab.Rows {
+		if r.Err[1] < -0.05 {
+			t.Errorf("n=%d: θ_D model error %.1f%% unexpectedly negative", r.N, 100*r.Err[1])
+		}
+	}
+	// θ_A cost explodes relative to root truncation (compare orders of
+	// magnitude with Table 6 tiny runs: thousands vs hundreds).
+	if tab.Rows[0].Sim[0] < 500 {
+		t.Errorf("unconstrained θ_A cost %v suspiciously small", tab.Rows[0].Sim[0])
+	}
+}
+
+func TestTable10ErrorsDecayWithN(t *testing.T) {
+	tab, err := Table10(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finite limit ⇒ error decays toward 0 as n grows (paper §7.4).
+	for i := 0; i < 2; i++ {
+		if !(math.Abs(tab.Rows[1].Err[i]) < math.Abs(tab.Rows[0].Err[i])+0.02) {
+			t.Errorf("col %d: error grew from %.1f%% to %.1f%%",
+				i, 100*tab.Rows[0].Err[i], 100*tab.Rows[1].Err[i])
+		}
+		if tab.Rows[0].Err[i] < 0 {
+			t.Errorf("col %d: unconstrained model should over-estimate at small n", i)
+		}
+	}
+}
+
+func TestTable5ValuesAndSpeed(t *testing.T) {
+	rows, err := Table5([]float64{1e3, 1e7, 1e14}, 1e8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// Paper values (±0.5%): continuous 144.86/353.92; exact 142.85/346.92;
+	// Alg 2 matches exact where available and 356.28 at 1e14.
+	if math.Abs(rows[0].Continuous-144.86) > 1 || math.Abs(rows[0].Discrete-142.85) > 0.8 {
+		t.Errorf("n=1e3 row: %+v", rows[0])
+	}
+	if math.Abs(rows[1].Discrete-346.92) > 1.8 || math.Abs(rows[1].Quick-346.92) > 1.8 {
+		t.Errorf("n=1e7 row: %+v", rows[1])
+	}
+	if rows[2].Discrete != 0 {
+		t.Error("discrete sum should be skipped beyond the cap")
+	}
+	if math.Abs(rows[2].Quick-356.28) > 1.8 {
+		t.Errorf("n=1e14 Alg2 = %v, want ≈356.28", rows[2].Quick)
+	}
+	// Algorithm 2 must be dramatically faster than the exact sum at 1e7.
+	if rows[1].QuickTime > rows[1].DiscTime {
+		t.Errorf("Alg2 (%v) not faster than exact sum (%v) at n=1e7",
+			rows[1].QuickTime, rows[1].DiscTime)
+	}
+	out := FormatTable5(rows)
+	if !strings.Contains(out, "too slow") {
+		t.Error("rendering should mark skipped exact sums")
+	}
+}
+
+func TestTable11CappedWeightHelps(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{3000, 12000}
+	rows, err := Table11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	for i := 0; i < 3; i++ {
+		w1 := math.Abs(last.Err[i][0])
+		w2 := math.Abs(last.Err[i][1])
+		if !(w2 < w1) {
+			t.Errorf("spec %d: |err| w2 %.1f%% not below w1 %.1f%%", i, 100*w2, 100*w1)
+		}
+	}
+	// w1 error grows with n (infinite-limit divergence, §7.4).
+	if !(math.Abs(rows[1].Err[0][0]) > math.Abs(rows[0].Err[0][0])) {
+		t.Error("w1 error for T1+θ_D should grow with n")
+	}
+	if s := FormatTable11(rows); !strings.Contains(s, "w2(x)") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestTable12SurrogateClaims(t *testing.T) {
+	cfg := tinyConfig()
+	res, err := Table12(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if problems := res.CheckPaperClaims(); len(problems) > 0 {
+		t.Fatalf("paper claims violated: %v", problems)
+	}
+	out := res.String()
+	if !strings.Contains(out, "θ_degen") || !strings.Contains(out, "*") {
+		t.Error("rendering incomplete")
+	}
+	if _, err := Table12(Config{SurrogateN: 10}); err == nil {
+		t.Error("tiny surrogate accepted")
+	}
+}
+
+func TestTable3SpeedGap(t *testing.T) {
+	res, err := Table3(1<<14, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Portable Go won't reach the paper's 95×, but scanning must beat
+	// hashing per element.
+	if !(res.Ratio > 1) {
+		t.Errorf("scan/hash ratio %.2f, expected > 1", res.Ratio)
+	}
+	if res.HashMops <= 0 || res.ScanMops <= 0 {
+		t.Error("non-positive throughput")
+	}
+	if s := res.String(); !strings.Contains(s, "ratio") {
+		t.Error("rendering incomplete")
+	}
+	if _, err := Table3(4, time.Millisecond); err == nil {
+		t.Error("tiny list accepted")
+	}
+}
+
+func TestDefaultAndPaperConfigs(t *testing.T) {
+	if err := DefaultConfig().validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := PaperConfig().validate(); err != nil {
+		t.Fatal(err)
+	}
+	if PaperConfig().Seqs != 100 || PaperConfig().Graphs != 100 {
+		t.Fatal("paper protocol is 100×100")
+	}
+}
+
+func TestHumanOps(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{123, "123"}, {1500, "1.5K"}, {2.5e6, "2.5M"}, {3.1e9, "3.1B"}, {4.2e12, "4.2T"},
+	}
+	for _, c := range cases {
+		if got := humanOps(c.v); got != c.want {
+			t.Errorf("humanOps(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestSpecString(t *testing.T) {
+	tab, err := Table6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.Specs[0].Method != listing.T1 || tab.Specs[0].Order != order.KindAscending {
+		t.Fatal("Table 6 spec columns wrong")
+	}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"io"
+	"math"
+	"strconv"
+)
+
+// CSV emitters for every table, so results feed spreadsheets and
+// plotting pipelines without scraping the human-readable rendering.
+// Layouts mirror the paper's tables: one row per graph size (or matrix
+// row), columns labeled by (method+order, metric).
+
+func fmtF(v float64) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	if math.IsNaN(v) {
+		return ""
+	}
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}
+
+// WriteCSV emits a sim-vs-model pair table.
+func (t *PairTable) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	s0, s1 := t.Specs[0].String(), t.Specs[1].String()
+	if err := cw.Write([]string{
+		"n",
+		s0 + " sim", s0 + " model", s0 + " relerr",
+		s1 + " sim", s1 + " model", s1 + " relerr",
+	}); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write([]string{
+			strconv.Itoa(r.N),
+			fmtF(r.Sim[0]), fmtF(r.Model[0]), fmtF(r.Err[0]),
+			fmtF(r.Sim[1]), fmtF(r.Model[1]), fmtF(r.Err[1]),
+		}); err != nil {
+			return err
+		}
+	}
+	if err := cw.Write([]string{"inf", "", fmtF(t.Limit[0]), "", "", fmtF(t.Limit[1]), ""}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable5CSV emits the model-computation comparison.
+func WriteTable5CSV(w io.Writer, rows []Table5Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"n", "continuous(49)", "cont_ms", "discrete(50)", "disc_ms", "alg2", "alg2_ms",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		disc, discMs := "", ""
+		if r.Discrete != 0 {
+			disc = fmtF(r.Discrete)
+			discMs = strconv.FormatInt(r.DiscTime.Milliseconds(), 10)
+		}
+		if err := cw.Write([]string{
+			fmtF(r.N),
+			fmtF(r.Continuous), strconv.FormatInt(r.ContTime.Milliseconds(), 10),
+			disc, discMs,
+			fmtF(r.Quick), strconv.FormatInt(r.QuickTime.Milliseconds(), 10),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable11CSV emits the weight-function ablation.
+func WriteTable11CSV(w io.Writer, rows []Table11Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"n",
+		"T1+θ_D w1", "T1+θ_D w2",
+		"T2+θ_D w1", "T2+θ_D w2",
+		"T2+θ_RR w1", "T2+θ_RR w2",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{strconv.Itoa(r.N)}
+		for i := 0; i < 3; i++ {
+			rec = append(rec, fmtF(r.Err[i][0]), fmtF(r.Err[i][1]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteCSV emits the method × order cost matrix.
+func (r *Table12Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"method"}
+	for _, k := range r.Orders {
+		header = append(header, k.ShortName())
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for mi, m := range r.Methods {
+		rec := []string{m.String()}
+		for oi := range r.Orders {
+			rec = append(rec, fmtF(r.Ops[mi][oi]))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV emits the operation-speed microbenchmark.
+func WriteTable3CSV(w io.Writer, r *Table3Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"operation", "mops_per_sec"}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{"hash_probe", fmtF(r.HashMops)}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{"merge_comparison", fmtF(r.ScanMops)}); err != nil {
+		return err
+	}
+	if err := cw.Write([]string{"ratio", fmtF(r.Ratio)}); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,121 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func parseCSV(t *testing.T, b []byte) [][]string {
+	t.Helper()
+	recs, err := csv.NewReader(bytes.NewReader(b)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestPairTableCSV(t *testing.T) {
+	tab, err := Table6(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.Bytes())
+	// Header + one row per size + limit row.
+	if len(recs) != 1+len(tab.Rows)+1 {
+		t.Fatalf("record count %d", len(recs))
+	}
+	if recs[0][0] != "n" || !strings.Contains(recs[0][1], "T1") {
+		t.Fatalf("header %v", recs[0])
+	}
+	// Values round-trip.
+	sim, err := strconv.ParseFloat(recs[1][1], 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sim-tab.Rows[0].Sim[0]) > 1e-9 {
+		t.Fatalf("sim cell %v != %v", sim, tab.Rows[0].Sim[0])
+	}
+	// Infinite limit encoded as "inf".
+	last := recs[len(recs)-1]
+	if last[0] != "inf" || last[2] != "inf" {
+		t.Fatalf("limit row %v", last)
+	}
+}
+
+func TestTable5CSV(t *testing.T) {
+	rows, err := Table5([]float64{1e3, 1e12}, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable5CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.Bytes())
+	if len(recs) != 3 {
+		t.Fatalf("records %d", len(recs))
+	}
+	// Skipped discrete cell is empty at 1e12.
+	if recs[2][3] != "" {
+		t.Fatalf("skipped discrete should be empty, got %q", recs[2][3])
+	}
+}
+
+func TestTable11CSV(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Sizes = []int{2000}
+	rows, err := Table11(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable11CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.Bytes())
+	if len(recs) != 2 || len(recs[0]) != 7 {
+		t.Fatalf("shape %dx%d", len(recs), len(recs[0]))
+	}
+}
+
+func TestTable12CSV(t *testing.T) {
+	res, err := Table12(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.Bytes())
+	if len(recs) != 5 || len(recs[0]) != 7 {
+		t.Fatalf("shape %dx%d", len(recs), len(recs[0]))
+	}
+	if recs[1][0] != "T1" || recs[4][0] != "E4" {
+		t.Fatalf("method column %v", recs)
+	}
+}
+
+func TestTable3CSV(t *testing.T) {
+	res, err := Table3(1<<12, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable3CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	recs := parseCSV(t, buf.Bytes())
+	if len(recs) != 4 {
+		t.Fatalf("records %d", len(recs))
+	}
+}

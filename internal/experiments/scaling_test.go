@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestScalingRatiosStabilize(t *testing.T) {
+	// §6.3: with α = 1.2 (below both finiteness thresholds) and root
+	// truncation, cost(T1+θ_D)/a_n and cost(E1+θ_D)/b_n must flatten as
+	// n grows while the raw costs diverge.
+	rows, err := Scaling(1.2, []float64{1e6, 1e8, 1e10, 1e12, 1e14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := rows[len(rows)-1]
+	prev := rows[len(rows)-2]
+	first := rows[0]
+	// Raw divergence.
+	if !(last.CostT1 > 4*first.CostT1) || !(last.CostE1 > 10*first.CostE1) {
+		t.Fatalf("costs not diverging: T1 %v→%v, E1 %v→%v",
+			first.CostT1, last.CostT1, first.CostE1, last.CostE1)
+	}
+	// Ratio stabilization: consecutive-decade relative change shrinks
+	// below a few percent at the top of the ladder.
+	relT1 := math.Abs(last.RatioT1-prev.RatioT1) / prev.RatioT1
+	relE1 := math.Abs(last.RatioE1-prev.RatioE1) / prev.RatioE1
+	if relT1 > 0.10 {
+		t.Errorf("T1 ratio still moving %.1f%% per 2 decades: %v -> %v",
+			100*relT1, prev.RatioT1, last.RatioT1)
+	}
+	if relE1 > 0.10 {
+		t.Errorf("E1 ratio still moving %.1f%% per 2 decades: %v -> %v",
+			100*relE1, prev.RatioE1, last.RatioE1)
+	}
+	// §6.3: T1 grows strictly slower than E1 for α ∈ [1, 1.5): the cost
+	// ratio E1/T1 must increase along the ladder.
+	if !(last.CostE1/last.CostT1 > first.CostE1/first.CostT1) {
+		t.Error("E1/T1 cost ratio not growing despite slower T1 rate")
+	}
+	out := FormatScaling(1.2, rows)
+	if !strings.Contains(out, "cost/a_n") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestScalingValidation(t *testing.T) {
+	if _, err := Scaling(1.5, nil); err == nil {
+		t.Error("α outside (1, 4/3) accepted")
+	}
+	if _, err := Scaling(0.9, nil); err == nil {
+		t.Error("α <= 1 accepted")
+	}
+}
+
+func TestSqrtFloorExact(t *testing.T) {
+	for _, c := range []struct{ n, want float64 }{
+		{1, 1}, {3, 1}, {4, 2}, {1e6, 1000}, {999999, 999}, {1e14, 1e7},
+	} {
+		if got := sqrtFloor(c.n); got != c.want {
+			t.Errorf("sqrtFloor(%v) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}

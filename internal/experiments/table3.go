@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"trilist/internal/hashset"
+	"trilist/internal/stats"
+)
+
+// Table3Result reports the operation-speed microbenchmark of Table 3.
+//
+// Substitution note: the paper measures hand-tuned C++ (hash tables vs.
+// SIMD intersection) on an i7-3930K, reporting 19 vs. 1801 million
+// nodes/sec — a ~95× gap that drives its SEI-vs-VI runtime tradeoff
+// (§2.4). We measure the same two primitives as implemented in this
+// repository (open-addressing probes vs. two-pointer merge) on the host
+// CPU. Absolute numbers differ (no SIMD in portable Go), but the
+// qualitative fact the paper builds on — scanning processes elements
+// several times faster than hashing — is reproduced, and the downstream
+// decision rule ("SEI wins iff its operation ratio w_n is below the
+// measured speed ratio") is parameterized by whatever ratio this
+// benchmark reports.
+type Table3Result struct {
+	// HashMops and ScanMops are millions of operations per second.
+	HashMops, ScanMops float64
+	// Ratio is ScanMops / HashMops — the paper's "95" analogue.
+	Ratio float64
+}
+
+// Table3 runs the microbenchmark. listLen controls the working-set size
+// (the paper uses "neighbor lists of sufficiently large size", the
+// best case for intersection); minDur is the per-primitive measuring
+// time.
+func Table3(listLen int, minDur time.Duration) (*Table3Result, error) {
+	if listLen < 16 {
+		return nil, fmt.Errorf("experiments: list length %d too small", listLen)
+	}
+	if minDur <= 0 {
+		minDur = 200 * time.Millisecond
+	}
+	rng := stats.NewRNGFromSeed(3)
+	// Sorted lists with ~50% overlap.
+	a := make([]int32, listLen)
+	b := make([]int32, listLen)
+	next := int32(0)
+	for i := range a {
+		next += int32(rng.IntN(3)) + 1
+		a[i] = next
+		if rng.Bool(0.5) {
+			b[i] = next
+		} else {
+			b[i] = next + 1
+		}
+	}
+	// Hash probes: membership lookups of b's elements against a's set.
+	set := hashset.NewNodeSet(listLen)
+	for _, v := range a {
+		set.Add(v)
+	}
+	var hashOps int64
+	sink := 0
+	start := time.Now()
+	for time.Since(start) < minDur {
+		for _, v := range b {
+			if set.Contains(v) {
+				sink++
+			}
+		}
+		hashOps += int64(listLen)
+	}
+	hashSec := time.Since(start).Seconds()
+	// Scanning: two-pointer merge comparisons over the same lists.
+	var scanOps int64
+	start = time.Now()
+	for time.Since(start) < minDur {
+		i, j := 0, 0
+		for i < len(a) && j < len(b) {
+			switch {
+			case a[i] < b[j]:
+				i++
+			case a[i] > b[j]:
+				j++
+			default:
+				sink++
+				i++
+				j++
+			}
+			scanOps++
+		}
+	}
+	scanSec := time.Since(start).Seconds()
+	_ = sink
+	res := &Table3Result{
+		HashMops: float64(hashOps) / hashSec / 1e6,
+		ScanMops: float64(scanOps) / scanSec / 1e6,
+	}
+	res.Ratio = res.ScanMops / res.HashMops
+	return res, nil
+}
+
+// String renders the result in the layout of Table 3.
+func (r *Table3Result) String() string {
+	var b strings.Builder
+	b.WriteString("Table 3 (surrogate): single-core speed, this host, portable Go\n")
+	fmt.Fprintf(&b, "%-32s | %-18s | %10s\n", "family", "operation", "Mops/sec")
+	fmt.Fprintf(&b, "%-32s | %-18s | %10.0f\n", "vertex iterator / LEI", "hash probe", r.HashMops)
+	fmt.Fprintf(&b, "%-32s | %-18s | %10.0f\n", "scanning edge iterator (SEI)", "merge comparison", r.ScanMops)
+	fmt.Fprintf(&b, "speed ratio (paper's '95x' analogue): %.1fx\n", r.Ratio)
+	return b.String()
+}

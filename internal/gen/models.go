@@ -1,0 +1,124 @@
+package gen
+
+import (
+	"fmt"
+
+	"trilist/internal/graph"
+	"trilist/internal/stats"
+)
+
+// This file adds the two classical network models the paper's
+// introduction cites as the reason triangle-rich graphs exist in the
+// first place: preferential attachment (Barabási–Albert [5]), whose
+// power-law degrees are the regime the paper's whole analysis targets,
+// and the small-world rewiring model (Watts–Strogatz [38]), whose high
+// clustering makes triangle counts enormous relative to edge count.
+// Both are exercised by examples and tests as workload sources.
+
+// BarabasiAlbert grows a graph by preferential attachment: starting from
+// a small seed clique, each new node attaches to k distinct existing
+// nodes chosen proportionally to their current degree. The resulting
+// degree distribution has a power-law tail with exponent ≈ 3 (α ≈ 2 in
+// the paper's Pareto parameterization of the CCDF).
+//
+// n must be at least k+1; the first k+1 nodes form the seed clique.
+func BarabasiAlbert(n, k int, rng *stats.RNG) (*graph.Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs k >= 1, got %d", k)
+	}
+	if n < k+1 {
+		return nil, fmt.Errorf("gen: BarabasiAlbert needs n >= k+1 = %d, got %d", k+1, n)
+	}
+	// The repeated-nodes array trick: each edge endpoint appended to
+	// targets makes future selection ∝ degree in O(1) per draw.
+	var edges []graph.Edge
+	var targets []int32
+	// Seed: clique on nodes 0..k.
+	for i := int32(0); int(i) <= k; i++ {
+		for j := i + 1; int(j) <= k; j++ {
+			edges = append(edges, graph.Edge{U: i, V: j})
+			targets = append(targets, i, j)
+		}
+	}
+	chosen := make(map[int32]bool, k)
+	picks := make([]int32, 0, k)
+	for v := int32(k + 1); int(v) < n; v++ {
+		clear(chosen)
+		picks = picks[:0]
+		// Draw until k distinct targets; record in draw order so the
+		// construction is deterministic per seed (map iteration is not).
+		for len(picks) < k {
+			w := targets[rng.IntN(len(targets))]
+			if !chosen[w] {
+				chosen[w] = true
+				picks = append(picks, w)
+			}
+		}
+		for _, w := range picks {
+			edges = append(edges, graph.Edge{U: v, V: w})
+			targets = append(targets, v, w)
+		}
+	}
+	return graph.FromEdges(n, edges, false)
+}
+
+// WattsStrogatz builds the small-world model: a ring lattice where every
+// node connects to its k nearest neighbors on each side, then each
+// lattice edge is rewired with probability beta to a uniform non-duplicate
+// endpoint. beta = 0 keeps the triangle-dense lattice; beta = 1
+// approaches a random graph with vanishing clustering.
+func WattsStrogatz(n, k int, beta float64, rng *stats.RNG) (*graph.Graph, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs k >= 1, got %d", k)
+	}
+	if n < 2*k+1 {
+		return nil, fmt.Errorf("gen: WattsStrogatz needs n >= 2k+1 = %d, got %d", 2*k+1, n)
+	}
+	if beta < 0 || beta > 1 {
+		return nil, fmt.Errorf("gen: rewiring probability %v outside [0,1]", beta)
+	}
+	// Edge set keyed for duplicate checks during rewiring.
+	key := func(a, b int32) uint64 {
+		if a > b {
+			a, b = b, a
+		}
+		return uint64(uint32(a))<<32 | uint64(uint32(b))
+	}
+	present := make(map[uint64]bool, n*k)
+	edges := make([]graph.Edge, 0, n*k)
+	add := func(a, b int32) {
+		present[key(a, b)] = true
+		edges = append(edges, graph.Edge{U: a, V: b})
+	}
+	for v := 0; v < n; v++ {
+		for d := 1; d <= k; d++ {
+			add(int32(v), int32((v+d)%n))
+		}
+	}
+	// Rewire: for each original lattice edge (u, v), with probability
+	// beta replace v by a uniform node that is neither u nor already
+	// adjacent to u.
+	for i := range edges {
+		if !rng.Bool(beta) {
+			continue
+		}
+		u, v := edges[i].U, edges[i].V
+		// A node of degree n-1 cannot be rewired anywhere new.
+		attempts := 0
+		for {
+			attempts++
+			if attempts > 4*n {
+				break
+			}
+			w := int32(rng.IntN(n))
+			if w == u || present[key(u, w)] {
+				continue
+			}
+			delete(present, key(u, v))
+			present[key(u, w)] = true
+			edges[i].V = w
+			break
+		}
+	}
+	return graph.FromEdges(n, edges, false)
+}

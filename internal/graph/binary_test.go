@@ -1,0 +1,104 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+
+	"trilist/internal/stats"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	rng := stats.NewRNGFromSeed(41)
+	b := NewBuilder(1000, true)
+	for i := 0; i < 8000; i++ {
+		u := int32(rng.IntN(1000))
+		v := int32(rng.IntN(1000))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("roundtrip: %d/%d vs %d/%d",
+			g.NumNodes(), g.NumEdges(), g2.NumNodes(), g2.NumEdges())
+	}
+	e1, e2 := g.EdgeSlice(), g2.EdgeSlice()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestBinaryEmptyGraph(t *testing.T) {
+	g, _ := FromEdges(0, nil, false)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 0 || g2.NumEdges() != 0 {
+		t.Fatal("empty graph roundtrip failed")
+	}
+}
+
+func TestBinaryIsolatedNodesPreserved(t *testing.T) {
+	g, _ := FromEdges(10, []Edge{{U: 2, V: 7}}, false)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 10 {
+		t.Fatalf("n = %d, want 10", g2.NumNodes())
+	}
+}
+
+func TestBinaryCorruptInputs(t *testing.T) {
+	g, _ := FromEdges(4, []Edge{{U: 0, V: 1}, {U: 2, V: 3}}, false)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncations at every boundary must error, not panic or mis-load.
+	for _, cut := range []int{0, 4, 8, 16, 20, len(full) - 3} {
+		if _, err := ReadBinary(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+	// Bad magic.
+	bad := append([]byte("NOTCSR\x00\x01"), full[8:]...)
+	if _, err := ReadBinary(bytes.NewReader(bad)); err == nil {
+		t.Error("bad magic accepted")
+	}
+	// Corrupt a neighbor to break symmetry: must fail validation.
+	corrupt := append([]byte(nil), full...)
+	corrupt[len(corrupt)-4] = 0xFF
+	if _, err := ReadBinary(bytes.NewReader(corrupt)); err == nil {
+		t.Error("corrupt payload accepted")
+	}
+	// Implausible header.
+	hdr := append([]byte(nil), full...)
+	hdr[8] = 0xFF // n low byte -> huge/odd
+	if _, err := ReadBinary(bytes.NewReader(hdr)); err == nil {
+		t.Error("header corruption accepted")
+	}
+}

@@ -1,0 +1,116 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"trilist/internal/stats"
+)
+
+func TestEdgeListRoundTrip(t *testing.T) {
+	g, err := FromEdges(5, []Edge{{0, 1}, {0, 2}, {1, 2}, {2, 3}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != 5 || g2.NumEdges() != 4 {
+		t.Fatalf("roundtrip n=%d m=%d", g2.NumNodes(), g2.NumEdges())
+	}
+	for _, e := range g.EdgeSlice() {
+		if !g2.HasEdge(e.U, e.V) {
+			t.Fatalf("lost edge %v", e)
+		}
+	}
+}
+
+func TestReadEdgeListFormats(t *testing.T) {
+	in := `# a comment
+1 2
+
+2 0
+# another
+0 3
+3 1
+`
+	g, err := ReadEdgeList(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 4 || g.NumEdges() != 4 {
+		t.Fatalf("n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+}
+
+func TestReadEdgeListCollapsesBothOrientations(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("0 1\n1 0\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatalf("m = %d, want 1", g.NumEdges())
+	}
+}
+
+func TestReadEdgeListErrors(t *testing.T) {
+	for _, in := range []string{
+		"0\n",              // missing endpoint
+		"a b\n",            // non-numeric
+		"0 x\n",            // non-numeric second field
+		"-1 2\n",           // negative
+		"3 3\n",            // self-loop
+		"# nodes 2\n0 5\n", // header smaller than max ID
+	} {
+		if _, err := ReadEdgeList(strings.NewReader(in)); err == nil {
+			t.Errorf("input %q accepted", in)
+		}
+	}
+}
+
+func TestReadEdgeListHeaderPreservesIsolatedNodes(t *testing.T) {
+	g, err := ReadEdgeList(strings.NewReader("# nodes 10 edges 1\n0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumNodes() != 10 {
+		t.Fatalf("n = %d, want 10 (from header)", g.NumNodes())
+	}
+}
+
+func TestLargeRoundTrip(t *testing.T) {
+	r := stats.NewRNGFromSeed(12)
+	b := NewBuilder(500, true)
+	for i := 0; i < 3000; i++ {
+		u := int32(r.IntN(500))
+		v := int32(r.IntN(500))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	g, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEdgeList(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumNodes() != g.NumNodes() || g2.NumEdges() != g.NumEdges() {
+		t.Fatalf("roundtrip mismatch: %d/%d vs %d/%d",
+			g.NumNodes(), g.NumEdges(), g2.NumNodes(), g2.NumEdges())
+	}
+	if err := g2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestReadAnyDetectsBothFormats(t *testing.T) {
+	g, err := FromEdges(5, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 0, V: 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bin, txt bytes.Buffer
+	if err := WriteBinary(&bin, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteEdgeList(&txt, g); err != nil {
+		t.Fatal(err)
+	}
+	for name, buf := range map[string]*bytes.Buffer{"binary": &bin, "text": &txt} {
+		got, err := ReadAny(buf)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if got.NumNodes() != 5 || got.NumEdges() != 3 {
+			t.Fatalf("%s: n=%d m=%d", name, got.NumNodes(), got.NumEdges())
+		}
+	}
+}
+
+func TestReadAnyShortInput(t *testing.T) {
+	// Inputs shorter than the magic fall through to the text parser.
+	g, err := ReadAny(strings.NewReader("0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 1 {
+		t.Fatal("short text input mis-parsed")
+	}
+	if _, err := ReadAny(strings.NewReader("junk")); err == nil {
+		t.Fatal("junk accepted")
+	}
+	empty, err := ReadAny(strings.NewReader(""))
+	if err != nil || empty.NumNodes() != 0 {
+		t.Fatalf("empty input: %v, %v", empty, err)
+	}
+}

@@ -1,0 +1,140 @@
+package hashset
+
+import (
+	"testing"
+	"testing/quick"
+
+	"trilist/internal/stats"
+)
+
+func TestEdgeSetBasics(t *testing.T) {
+	s := New(4)
+	s.Add(1, 0)
+	s.Add(2, 1)
+	s.Add(2, 1) // duplicate
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if !s.Contains(1, 0) || !s.Contains(2, 1) {
+		t.Fatal("missing inserted edges")
+	}
+	if s.Contains(0, 1) {
+		t.Fatal("direction should matter")
+	}
+	if s.Contains(5, 6) {
+		t.Fatal("phantom edge")
+	}
+}
+
+func TestEdgeSetZeroKeyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(0,0) did not panic")
+		}
+	}()
+	New(1).Add(0, 0)
+}
+
+func TestEdgeSetGrowth(t *testing.T) {
+	s := New(0)
+	for i := int32(1); i <= 10000; i++ {
+		s.Add(i, i-1)
+	}
+	if s.Len() != 10000 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	for i := int32(1); i <= 10000; i++ {
+		if !s.Contains(i, i-1) {
+			t.Fatalf("lost edge (%d,%d) after growth", i, i-1)
+		}
+		if s.Contains(i-1, i) {
+			t.Fatalf("reversed edge (%d,%d) present", i-1, i)
+		}
+	}
+}
+
+func TestEdgeSetMatchesMap(t *testing.T) {
+	f := func(seed uint64, nOps uint16) bool {
+		r := stats.NewRNGFromSeed(seed)
+		s := New(8)
+		ref := make(map[[2]int32]bool)
+		for i := 0; i < int(nOps%500)+10; i++ {
+			u := int32(r.IntN(100))
+			v := int32(r.IntN(100))
+			if u == 0 && v == 0 {
+				continue
+			}
+			s.Add(u, v)
+			ref[[2]int32{u, v}] = true
+		}
+		if s.Len() != len(ref) {
+			return false
+		}
+		for i := 0; i < 200; i++ {
+			u := int32(r.IntN(100))
+			v := int32(r.IntN(100))
+			if u == 0 && v == 0 {
+				continue
+			}
+			if s.Contains(u, v) != ref[[2]int32{u, v}] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNodeSetBasics(t *testing.T) {
+	s := NewNodeSet(2)
+	s.Add(0)
+	s.Add(7)
+	s.Add(7)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if !s.Contains(0) || !s.Contains(7) || s.Contains(3) {
+		t.Fatal("membership wrong")
+	}
+}
+
+func TestNodeSetNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add(-1) did not panic")
+		}
+	}()
+	NewNodeSet(1).Add(-1)
+}
+
+func TestNodeSetReset(t *testing.T) {
+	s := NewNodeSet(2)
+	s.Add(5)
+	s.Reset(100)
+	if s.Len() != 0 || s.Contains(5) {
+		t.Fatal("Reset did not clear")
+	}
+	for i := int32(0); i < 100; i++ {
+		s.Add(i)
+	}
+	if s.Len() != 100 {
+		t.Fatalf("Len after refill = %d", s.Len())
+	}
+}
+
+func TestNodeSetGrowth(t *testing.T) {
+	s := NewNodeSet(0)
+	for i := int32(0); i < 5000; i++ {
+		s.Add(i * 3)
+	}
+	for i := int32(0); i < 5000; i++ {
+		if !s.Contains(i * 3) {
+			t.Fatalf("lost %d", i*3)
+		}
+		if s.Contains(i*3 + 1) {
+			t.Fatalf("phantom %d", i*3+1)
+		}
+	}
+}

@@ -1,0 +1,32 @@
+package listing
+
+// intersectBackwards merge-scans two ascending lists from their tails
+// toward their heads. It visits exactly the same common elements as
+// intersect, in reverse order, with the same comparison count — but
+// walks memory against the direction hardware prefetchers like.
+//
+// The paper's §2.3 observes that E5 (and E6) either pay a binary search
+// to locate their mid-list remote start or must "intersect backwards",
+// which on an Intel i7-2600K ran 26% slower than forward scanning —
+// the reason those methods are dropped from the competitive set. This
+// function exists to let the ablation benchmarks reproduce that
+// forward-vs-backward asymmetry on the host CPU; the production methods
+// use binary search + forward scans.
+func intersectBackwards(a, b []int32, visit func(int32)) int64 {
+	i, j := len(a)-1, len(b)-1
+	var comps int64
+	for i >= 0 && j >= 0 {
+		comps++
+		switch {
+		case a[i] > b[j]:
+			i--
+		case a[i] < b[j]:
+			j--
+		default:
+			visit(a[i])
+			i--
+			j--
+		}
+	}
+	return comps
+}

@@ -1,0 +1,81 @@
+package listing
+
+import (
+	"math"
+	"testing"
+
+	"trilist/internal/order"
+)
+
+func TestNoRelabelDoublesT1T3Terms(t *testing.T) {
+	g := randomTestGraph(t, 50, 80, 500)
+	o := orientBy(t, g, order.KindDescending, 1)
+	// §2.4 claims, at the cost level:
+	//  T1 doubles, T2 unchanged, E1 = 2·T1 + T2, E4 = 2·T1 + 2·T3.
+	if got, want := NoRelabelCost(o, T1), 2*ModelCost(o, T1); got != want {
+		t.Errorf("no-relabel T1 = %v, want %v", got, want)
+	}
+	if got, want := NoRelabelCost(o, T2), ModelCost(o, T2); got != want {
+		t.Errorf("no-relabel T2 = %v, want %v (unchanged)", got, want)
+	}
+	if got, want := NoRelabelCost(o, E1), 2*ModelCost(o, T1)+ModelCost(o, T2); got != want {
+		t.Errorf("no-relabel E1 = %v, want %v", got, want)
+	}
+	if got, want := NoRelabelCost(o, E4), 2*(ModelCost(o, T1)+ModelCost(o, T3)); got != want {
+		t.Errorf("no-relabel E4 = %v, want %v", got, want)
+	}
+	// The paper's Twitter observation: lack of relabeling doubles T1 and
+	// increases E1 by the T1 fraction — here c(E1)+T1 exactly.
+	if got, want := NoRelabelCost(o, E1)-ModelCost(o, E1), ModelCost(o, T1); got != want {
+		t.Errorf("E1 penalty = %v, want T1 cost %v", got, want)
+	}
+	// LEI follows Table 2 with the same doubling rule.
+	if got, want := NoRelabelCost(o, L2), 2*ModelCost(o, T1); got != want {
+		t.Errorf("no-relabel L2 = %v, want %v", got, want)
+	}
+	if got, want := NoRelabelCost(o, L1), ModelCost(o, T2); got != want {
+		t.Errorf("no-relabel L1 = %v, want %v", got, want)
+	}
+}
+
+func TestNoOrientationLookups(t *testing.T) {
+	g := randomTestGraph(t, 51, 80, 500)
+	o := orientBy(t, g, order.KindDescending, 1)
+	// ζ = Σ log₂ d_i over nodes with degree >= 2.
+	var zeta float64
+	for v := int32(0); int(v) < g.NumNodes(); v++ {
+		if d := float64(g.Degree(v)); d >= 2 {
+			zeta += math.Log2(d)
+		}
+	}
+	if zeta <= 0 {
+		t.Fatal("test graph too sparse")
+	}
+	// T1/T3 unaffected.
+	if NoOrientationExtraLookups(o, T1) != 0 || NoOrientationExtraLookups(o, T3) != 0 {
+		t.Error("T1/T3 should pay no extra lookups")
+	}
+	// T2, E1, E2 pay ζ.
+	for _, m := range []Method{T2, E1, E2} {
+		if got := NoOrientationExtraLookups(o, m); math.Abs(got-zeta) > 1e-9 {
+			t.Errorf("%v extra lookups = %v, want ζ = %v", m, got, zeta)
+		}
+	}
+	// E3-E6 pay per-edge searches, strictly more than ζ on graphs with
+	// mean degree > 2.
+	for _, m := range []Method{E3, E4, E5, E6} {
+		if got := NoOrientationExtraLookups(o, m); got <= zeta {
+			t.Errorf("%v extra lookups = %v, expected > ζ = %v", m, got, zeta)
+		}
+	}
+	// E3/E5 weight by out-degree, E4/E6 by in-degree: under reversal the
+	// two groups swap values.
+	p := order.Uniform(g.NumNodes(), rngFor(52))
+	rank, _ := order.RankFromPerm(g, p)
+	rankRev, _ := order.RankFromPerm(g, p.Reverse())
+	of, _ := orientRanked(g, rank)
+	or, _ := orientRanked(g, rankRev)
+	if a, b := NoOrientationExtraLookups(of, E3), NoOrientationExtraLookups(or, E4); math.Abs(a-b) > 1e-9 {
+		t.Errorf("E3 under θ (%v) should equal E4 under θ' (%v)", a, b)
+	}
+}

@@ -1,0 +1,148 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"trilist/internal/order"
+	"trilist/internal/stats"
+)
+
+func TestNamedKernelsMeasurePreserving(t *testing.T) {
+	// Definition 4: E[K(v; U)] = v for every admissible named order.
+	for _, k := range []order.Kind{
+		order.KindAscending, order.KindDescending, order.KindRoundRobin,
+		order.KindCRR, order.KindUniform,
+	} {
+		kern, err := NamedKernel(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := CheckMeasurePreserving(kern, 16, 4096); d > 0.01 {
+			t.Errorf("%v: measure preservation deviates by %v", k, d)
+		}
+	}
+	if _, err := NamedKernel(order.KindDegenerate); err == nil {
+		t.Fatal("degenerate order should have no kernel")
+	}
+}
+
+func TestNonMeasurePreservingDetected(t *testing.T) {
+	// A kernel that always maps to [0, 1/2] is not measure-preserving.
+	bad := func(v, u float64) float64 {
+		return math.Max(0, math.Min(1, 2*v))
+	}
+	if d := CheckMeasurePreserving(bad, 16, 2048); d < 0.3 {
+		t.Fatalf("bad kernel passed with deviation %v", d)
+	}
+}
+
+func TestPermutationsConvergeToTheirKernels(t *testing.T) {
+	// Definition 5 / Prop. 6: the empirical window kernel of each named
+	// deterministic permutation approaches its limit kernel as n grows.
+	for _, kind := range []order.Kind{
+		order.KindAscending, order.KindDescending,
+		order.KindRoundRobin, order.KindCRR,
+	} {
+		kern, err := NamedKernel(kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev float64 = math.Inf(1)
+		for _, n := range []int{400, 25600} {
+			p := permFor(kind, n)
+			d, err := KernelDistance(p, kern, 8, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 25600 {
+				if d > prev+1e-9 {
+					t.Errorf("%v: kernel distance grew from %v to %v", kind, prev, d)
+				}
+				if d > 0.05 {
+					t.Errorf("%v: kernel distance %v at n=25600", kind, d)
+				}
+			}
+			prev = d
+		}
+	}
+}
+
+func TestUniformPermutationConverges(t *testing.T) {
+	kern, _ := NamedKernel(order.KindUniform)
+	rng := stats.NewRNGFromSeed(5)
+	p := order.Uniform(50000, rng)
+	// A wider window (k = n/20) beats the √n default's sampling noise
+	// for the genuinely random map while still satisfying k/n → 0.
+	d, err := KernelDistance(p, kern, 8, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d > 0.05 {
+		t.Fatalf("uniform perm kernel distance %v", d)
+	}
+}
+
+func TestEstimateKernelBasics(t *testing.T) {
+	p := order.Ascending(1000)
+	// θ_A: position ⌈0.5n⌉ has label ~0.5n, so K(0.7; 0.5) ≈ 1 and
+	// K(0.3; 0.5) ≈ 0.
+	hi, err := EstimateKernel(p, 0.5, 0.7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lo, _ := EstimateKernel(p, 0.5, 0.3, 0)
+	if hi != 1 || lo != 0 {
+		t.Fatalf("K(0.7;0.5)=%v K(0.3;0.5)=%v", hi, lo)
+	}
+	// Boundary u values must not panic.
+	if _, err := EstimateKernel(p, 0, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EstimateKernel(p, 1, 0.5, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Errors.
+	if _, err := EstimateKernel(order.Perm{}, 0.5, 0.5, 0); err == nil {
+		t.Fatal("empty perm accepted")
+	}
+	if _, err := EstimateKernel(p, -0.1, 0.5, 0); err == nil {
+		t.Fatal("u < 0 accepted")
+	}
+	if _, err := EstimateKernel(p, 0.5, 1.5, 0); err == nil {
+		t.Fatal("v > 1 accepted")
+	}
+}
+
+func TestInadmissibleSequenceDetected(t *testing.T) {
+	// The paper's counter-example: θ_n alternating between θ_A and θ_D
+	// has no single limit kernel. The kernel distance to θ_A's kernel
+	// stays bounded away from 0 along the θ_D subsequence.
+	kernA, _ := NamedKernel(order.KindAscending)
+	dAsc, err := KernelDistance(order.Ascending(4096), kernA, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dDesc, err := KernelDistance(order.Descending(4096), kernA, 8, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(dDesc > 0.4 && dDesc > dAsc) {
+		t.Fatalf("alternating counter-example not detected: asc %v desc %v", dAsc, dDesc)
+	}
+}
+
+func permFor(kind order.Kind, n int) order.Perm {
+	switch kind {
+	case order.KindAscending:
+		return order.Ascending(n)
+	case order.KindDescending:
+		return order.Descending(n)
+	case order.KindRoundRobin:
+		return order.RoundRobin(n)
+	case order.KindCRR:
+		return order.ComplementaryRoundRobin(n)
+	default:
+		panic("unsupported")
+	}
+}

@@ -1,0 +1,77 @@
+package model
+
+import (
+	"fmt"
+
+	"trilist/internal/stats"
+)
+
+// This file implements the finite-n, per-sequence models of §3.2:
+// the expected out-degree E[X_i(θ)|D_n] (eqs. 11–12), the smaller-ID
+// neighbor fraction q_i(θ) (eq. 13), and the resulting cost approximation
+// (eq. 14) that Prop. 4 shows covers all four core methods.
+
+// ExpectedOutDegrees returns E[X_i(θ)|D_n] (eq. 12) for each label
+// position i, given the degree of the node at each label (d[i] =
+// d_{i}(θ), i.e. the degree sequence already arranged in label order)
+// and a weight function (nil = identity, which reduces eq. 12 to the
+// exact asymptotic eq. 11).
+func ExpectedOutDegrees(dByLabel []int64, w Weight) []float64 {
+	if w == nil {
+		w = WIdentity
+	}
+	n := len(dByLabel)
+	out := make([]float64, n)
+	var totalW stats.KahanSum
+	for _, d := range dByLabel {
+		totalW.Add(w(float64(d)))
+	}
+	var prefix stats.KahanSum // Σ_{j<i} w(d_j)
+	for i, d := range dByLabel {
+		di := float64(d)
+		denom := totalW.Value() - w(di)
+		if denom > 0 {
+			out[i] = di * prefix.Value() / denom
+		}
+		prefix.Add(w(di))
+	}
+	return out
+}
+
+// QFractions returns q_i(θ) = E[X_i(θ)|D_n] / d_i(θ) (eq. 13), clamped
+// to [0, 1].
+func QFractions(dByLabel []int64, w Weight) []float64 {
+	q := ExpectedOutDegrees(dByLabel, w)
+	for i, d := range dByLabel {
+		if d > 0 {
+			q[i] /= float64(d)
+		}
+		if q[i] > 1 {
+			q[i] = 1
+		}
+	}
+	return q
+}
+
+// SequenceCost evaluates the per-sequence cost approximation of eq. (14),
+//
+//	E[c_n(M, θ)|D_n] ≈ 1/n · Σ_i g(d_i(θ)) · h(q_i(θ)),
+//
+// for a concrete degree-by-label arrangement. h is the method's shape
+// function (see H); w weights the neighbor-selection bias (nil =
+// identity). This is the model the Twitter-scale accounting of Table 12
+// validates against.
+func SequenceCost(dByLabel []int64, h func(float64) float64, w Weight) (float64, error) {
+	if len(dByLabel) == 0 {
+		return 0, fmt.Errorf("model: empty degree sequence")
+	}
+	if h == nil {
+		return 0, fmt.Errorf("model: nil h")
+	}
+	q := QFractions(dByLabel, w)
+	var sum stats.KahanSum
+	for i, d := range dByLabel {
+		sum.Add(G(float64(d)) * h(q[i]))
+	}
+	return sum.Value() / float64(len(dByLabel)), nil
+}

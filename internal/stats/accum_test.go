@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestKahanSumSmallPlusLarge(t *testing.T) {
+	// Adding 1e16 copies of tiny values to a huge value: naive float64
+	// summation would lose them entirely.
+	var k KahanSum
+	k.Add(1e16)
+	for i := 0; i < 1000; i++ {
+		k.Add(1.0)
+	}
+	if got, want := k.Value(), 1e16+1000; got != want {
+		t.Fatalf("KahanSum = %v, want %v", got, want)
+	}
+}
+
+func TestKahanReset(t *testing.T) {
+	var k KahanSum
+	k.Add(5)
+	k.Reset()
+	k.Add(2)
+	if k.Value() != 2 {
+		t.Fatalf("after reset, sum = %v, want 2", k.Value())
+	}
+}
+
+func TestSampleMoments(t *testing.T) {
+	var s Sample
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Unbiased variance of this classic dataset is 32/7.
+	if got, want := s.Var(), 32.0/7; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Var = %v, want %v", got, want)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSampleEmpty(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Var()) || !math.IsNaN(s.Min()) {
+		t.Fatal("empty sample should report NaN statistics")
+	}
+}
+
+func TestSampleMatchesNaive(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e8 {
+				xs[i] = math.Mod(x, 1e6)
+				if math.IsNaN(xs[i]) {
+					xs[i] = 0
+				}
+			}
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var s Sample
+		var sum float64
+		for _, x := range xs {
+			s.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		naiveVar := m2 / float64(len(xs)-1)
+		scale := math.Max(1, math.Abs(naiveVar))
+		return math.Abs(s.Mean()-mean) < 1e-6*math.Max(1, math.Abs(mean)) &&
+			math.Abs(s.Var()-naiveVar) < 1e-6*scale
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestECDF(t *testing.T) {
+	e := NewECDF([]float64{1, 2, 2, 3})
+	cases := []struct {
+		x, want float64
+	}{
+		{0.5, 0}, {1, 0.25}, {1.5, 0.25}, {2, 0.75}, {3, 1}, {10, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); got != c.want {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if q := e.Quantile(0.5); q != 2 {
+		t.Errorf("Quantile(0.5) = %v, want 2", q)
+	}
+	if q := e.Quantile(0); q != 1 {
+		t.Errorf("Quantile(0) = %v, want 1", q)
+	}
+	if q := e.Quantile(1); q != 3 {
+		t.Errorf("Quantile(1) = %v, want 3", q)
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	e := NewECDF(in)
+	in[0] = 100
+	if e.At(3) != 1 {
+		t.Fatal("ECDF aliased caller slice")
+	}
+}
+
+func TestKSDistanceUniform(t *testing.T) {
+	r := NewRNGFromSeed(23)
+	obs := make([]float64, 20000)
+	for i := range obs {
+		obs[i] = r.Float64()
+	}
+	d := NewECDF(obs).KSDistance(func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	})
+	// KS distance for 20k uniform samples should be well under 0.02.
+	if d > 0.02 {
+		t.Fatalf("KS distance %v too large for uniform sample", d)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if got := RelErr(110, 100); math.Abs(got-0.1) > 1e-12 {
+		t.Errorf("RelErr(110,100) = %v", got)
+	}
+	if got := RelErr(90, 100); math.Abs(got+0.1) > 1e-12 {
+		t.Errorf("RelErr(90,100) = %v", got)
+	}
+	if got := RelErr(0, 0); got != 0 {
+		t.Errorf("RelErr(0,0) = %v", got)
+	}
+	if got := RelErr(1, 0); !math.IsInf(got, 1) {
+		t.Errorf("RelErr(1,0) = %v", got)
+	}
+	if got := RelErr(-1, 0); !math.IsInf(got, -1) {
+		t.Errorf("RelErr(-1,0) = %v", got)
+	}
+}

@@ -1,0 +1,119 @@
+package streaming
+
+import (
+	"math"
+	"testing"
+
+	"trilist/internal/core"
+	"trilist/internal/degseq"
+	"trilist/internal/gen"
+	"trilist/internal/graph"
+	"trilist/internal/stats"
+)
+
+func TestExactWhileReservoirHolds(t *testing.T) {
+	// With capacity >= m the estimate is exactly the true count.
+	g, err := gen.ErdosRenyi(60, 400, stats.NewRNGFromSeed(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Count(g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := CountGraph(g, int(g.NumEdges()), stats.NewRNGFromSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != float64(want) {
+		t.Fatalf("full-capacity estimate %v, want exactly %d", got, want)
+	}
+}
+
+func TestUnbiasedUnderSampling(t *testing.T) {
+	// With a reservoir of 1/4 of the edges, the mean estimate over many
+	// runs must land near the true count.
+	g, _, err := gen.ParetoGraph(degseq.StandardPareto(1.7), 3000,
+		degseq.RootTruncation, stats.NewRNGFromSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := core.Count(g, core.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want < 500 {
+		t.Fatalf("test graph too sparse: %d triangles", want)
+	}
+	rng := stats.NewRNGFromSeed(99)
+	var est stats.Sample
+	for rep := 0; rep < 40; rep++ {
+		got, err := CountGraph(g, int(g.NumEdges()/4), rng.Child())
+		if err != nil {
+			t.Fatal(err)
+		}
+		est.Add(got)
+	}
+	rel := math.Abs(est.Mean()-float64(want)) / float64(want)
+	if rel > 0.1 {
+		t.Fatalf("mean estimate %v vs true %d (%.1f%% off)", est.Mean(), want, 100*rel)
+	}
+	// The estimator must actually be estimating (variance > 0).
+	if est.StdDev() == 0 {
+		t.Fatal("zero variance under subsampling is implausible")
+	}
+}
+
+func TestCounterMechanics(t *testing.T) {
+	c, err := NewCounter(4, stats.NewRNGFromSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Triangle 0-1-2 plus an extra edge.
+	for _, e := range [][2]int32{{0, 1}, {1, 2}, {0, 2}, {2, 3}} {
+		if err := c.Add(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Estimate() != 1 {
+		t.Fatalf("estimate %v, want 1", c.Estimate())
+	}
+	if c.EdgesSeen() != 4 || c.SampleSize() != 4 {
+		t.Fatalf("seen %d, sample %d", c.EdgesSeen(), c.SampleSize())
+	}
+	// Reservoir never exceeds capacity.
+	for i := int32(10); i < 200; i++ {
+		if err := c.Add(i, i+1); err != nil {
+			t.Fatal(err)
+		}
+		if c.SampleSize() > 4 {
+			t.Fatalf("reservoir overflow: %d", c.SampleSize())
+		}
+	}
+}
+
+func TestCounterErrors(t *testing.T) {
+	if _, err := NewCounter(1, stats.NewRNGFromSeed(1)); err == nil {
+		t.Fatal("capacity 1 accepted")
+	}
+	if _, err := NewCounter(10, nil); err == nil {
+		t.Fatal("nil RNG accepted")
+	}
+	c, _ := NewCounter(4, stats.NewRNGFromSeed(1))
+	if err := c.Add(3, 3); err == nil {
+		t.Fatal("self-loop accepted")
+	}
+}
+
+func TestEmptyAndTriangleFreeStreams(t *testing.T) {
+	g, _ := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}, false)
+	got, err := CountGraph(g, 8, stats.NewRNGFromSeed(1))
+	if err != nil || got != 0 {
+		t.Fatalf("triangle-free stream: %v, %v", got, err)
+	}
+	empty, _ := graph.FromEdges(0, nil, false)
+	got, err = CountGraph(empty, 8, stats.NewRNGFromSeed(1))
+	if err != nil || got != 0 {
+		t.Fatalf("empty stream: %v, %v", got, err)
+	}
+}
