@@ -125,6 +125,30 @@ func benchPairTable(b *testing.B, run func(experiments.Config) (*experiments.Pai
 }
 
 func BenchmarkTable6(b *testing.B)  { benchPairTable(b, experiments.Table6) }
+
+// BenchmarkTable6Parallel measures the Monte-Carlo engine's scaling on
+// DefaultConfig-sized inputs (n up to 10⁵, 16 trials per size). The
+// engine's determinism contract means every worker count produces the
+// same bytes, so this is purely a wall-clock comparison; on a ≥4-core
+// machine workers=4 runs ≥2× faster than workers=1 (see EXPERIMENTS.md
+// for measured numbers).
+func BenchmarkTable6Parallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := experiments.DefaultConfig()
+			cfg.Workers = workers
+			for i := 0; i < b.N; i++ {
+				tab, err := experiments.Table6(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(tab.Rows) == 0 {
+					b.Fatal("empty table")
+				}
+			}
+		})
+	}
+}
 func BenchmarkTable7(b *testing.B)  { benchPairTable(b, experiments.Table7) }
 func BenchmarkTable8(b *testing.B)  { benchPairTable(b, experiments.Table8) }
 func BenchmarkTable9(b *testing.B)  { benchPairTable(b, experiments.Table9) }

@@ -5,11 +5,13 @@
 //
 //	experiments [-table all] [-scale default|paper] \
 //	            [-sizes 10000,30000,100000] [-seqs 4] [-graphs 4] \
-//	            [-surrogate 200000] [-seed 20170514]
+//	            [-surrogate 200000] [-seed 20170514] [-workers N]
 //
 // The default scale runs every table in minutes on a laptop while
 // preserving all qualitative conclusions; -scale paper reproduces the
-// paper's full protocol (hours).
+// paper's full protocol (hours). -workers parallelizes the Monte-Carlo
+// trials (default GOMAXPROCS); table output is byte-identical for every
+// worker count.
 package main
 
 import (
@@ -18,6 +20,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -41,6 +44,8 @@ func run(args []string, w io.Writer) error {
 	graphs := fs.Int("graphs", 0, "graphs per sequence (overrides scale)")
 	surrogate := fs.Int("surrogate", 0, "Table 12 surrogate size (overrides scale)")
 	seed := fs.Uint64("seed", 0, "root seed (overrides scale)")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"goroutines running Monte-Carlo trials; output is identical for any value")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -76,6 +81,7 @@ func run(args []string, w io.Writer) error {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 
 	wantAll := *table == "all"
 	want := func(id string) bool { return wantAll || *table == id }
@@ -187,7 +193,7 @@ func run(args []string, w io.Writer) error {
 	if want("scaling") {
 		ran = true
 		// §6.3 divergence-rate study (no paper table; extension).
-		rows, err := experiments.Scaling(1.2, nil)
+		rows, err := experiments.Scaling(1.2, nil, *workers)
 		if err != nil {
 			return err
 		}

@@ -53,6 +53,41 @@ func TestExperimentsCSVOutput(t *testing.T) {
 	}
 }
 
+// stripTimings drops wall-clock lines so runs are comparable.
+func stripTimings(s string) string {
+	var kept []string
+	for _, line := range strings.Split(s, "\n") {
+		if strings.Contains(line, "computed in") {
+			continue
+		}
+		kept = append(kept, line)
+	}
+	return strings.Join(kept, "\n")
+}
+
+func TestExperimentsWorkerDeterminism(t *testing.T) {
+	// The -workers flag must never change table content: byte-identical
+	// output (timing lines aside) for workers 1, 2 and 8.
+	for _, table := range []string{"6", "11", "12", "scaling"} {
+		t.Run("table"+table, func(t *testing.T) {
+			var want string
+			for _, workers := range []string{"1", "2", "8"} {
+				var out strings.Builder
+				args := append(tinyArgs(table), "-workers", workers)
+				if err := run(args, &out); err != nil {
+					t.Fatal(err)
+				}
+				got := stripTimings(out.String())
+				if want == "" {
+					want = got
+				} else if got != want {
+					t.Errorf("-workers %s output differs:\n%s\nwant:\n%s", workers, got, want)
+				}
+			}
+		})
+	}
+}
+
 func TestExperimentsUnknownTable(t *testing.T) {
 	var out strings.Builder
 	if err := run(tinyArgs("99"), &out); err == nil {

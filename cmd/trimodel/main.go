@@ -6,7 +6,11 @@
 // Usage:
 //
 //	trimodel -method T1 -order descending -alpha 1.5 -n 1e7 \
-//	         [-beta 15] [-trunc linear] [-eval all] [-eps 1e-5]
+//	         [-beta 15] [-trunc linear] [-eval all] [-eps 1e-5] [-workers N]
+//
+// With -eval all the independent evaluators run on up to -workers
+// goroutines (default GOMAXPROCS); results always print in the same
+// order.
 package main
 
 import (
@@ -14,7 +18,9 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"trilist/internal/degseq"
@@ -40,6 +46,8 @@ func run(args []string, w io.Writer) error {
 	trunc := fs.String("trunc", "linear", "truncation: root or linear")
 	eval := fs.String("eval", "all", "evaluator: discrete, quick, continuous, limit, all")
 	eps := fs.Float64("eps", 1e-5, "Algorithm 2 block-growth ε")
+	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
+		"goroutines evaluating independent models; output order is fixed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,51 +100,84 @@ func run(args []string, w io.Writer) error {
 		spec, *alpha, *beta, tn, strings.ToLower(*trunc))
 
 	want := strings.ToLower(*eval)
-	show := func(name string, f func() (float64, error)) error {
-		t0 := time.Now()
-		v, err := f()
-		if err != nil {
-			return fmt.Errorf("%s: %w", name, err)
-		}
-		fmt.Fprintf(w, "%-12s %14.4f   (%v)\n", name, v, time.Since(t0).Round(time.Microsecond))
-		return nil
+	// Evaluators are independent, so they run concurrently (bounded by
+	// -workers) and print in declaration order once all are done.
+	type task struct {
+		name string
+		pre  string // extra line printed before the result
+		skip string // printed instead of running, when non-empty
+		f    func() (float64, error)
 	}
+	var tasks []task
 	if want == "discrete" || want == "all" {
 		if tn > 1e9 {
-			fmt.Fprintln(w, "discrete:    skipped (t_n > 1e9; use -eval quick)")
+			tasks = append(tasks, task{skip: "discrete:    skipped (t_n > 1e9; use -eval quick)"})
 		} else {
 			tr, err := degseq.NewTruncated(p, int64(tn))
 			if err != nil {
 				return err
 			}
-			if err := show("discrete", func() (float64, error) { return model.DiscreteCost(spec, tr) }); err != nil {
-				return err
-			}
+			tasks = append(tasks, task{name: "discrete",
+				f: func() (float64, error) { return model.DiscreteCost(spec, tr) }})
 		}
 	}
 	if want == "quick" || want == "all" {
-		if err := show("quick", func() (float64, error) {
+		tasks = append(tasks, task{name: "quick", f: func() (float64, error) {
 			return model.QuickCost(spec, model.ParetoTruncatedCDF(p, tn), tn, *eps)
-		}); err != nil {
-			return err
-		}
+		}})
 	}
 	if want == "continuous" || want == "all" {
-		if err := show("continuous", func() (float64, error) {
+		tasks = append(tasks, task{name: "continuous", f: func() (float64, error) {
 			return model.ContinuousCost(spec, p, tn, 200000)
-		}); err != nil {
-			return err
-		}
+		}})
 	}
 	if want == "limit" || want == "all" {
 		crit, err := model.FinitenessAlpha(spec)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "finite limit iff α > %.4g\n", crit)
-		if err := show("limit", func() (float64, error) { return model.Limit(spec, p) }); err != nil {
-			return err
+		tasks = append(tasks, task{name: "limit",
+			pre: fmt.Sprintf("finite limit iff α > %.4g", crit),
+			f:   func() (float64, error) { return model.Limit(spec, p) }})
+	}
+
+	type result struct {
+		v   float64
+		dur time.Duration
+		err error
+	}
+	results := make([]result, len(tasks))
+	sem := make(chan struct{}, max(1, *workers))
+	var wg sync.WaitGroup
+	for i, tk := range tasks {
+		if tk.f == nil {
+			continue
 		}
+		wg.Add(1)
+		go func(i int, tk task) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			t0 := time.Now()
+			v, err := tk.f()
+			results[i] = result{v, time.Since(t0), err}
+		}(i, tk)
+	}
+	wg.Wait()
+
+	for i, tk := range tasks {
+		if tk.skip != "" {
+			fmt.Fprintln(w, tk.skip)
+			continue
+		}
+		if tk.pre != "" {
+			fmt.Fprintln(w, tk.pre)
+		}
+		r := results[i]
+		if r.err != nil {
+			return fmt.Errorf("%s: %w", tk.name, r.err)
+		}
+		fmt.Fprintf(w, "%-12s %14.4f   (%v)\n", tk.name, r.v, r.dur.Round(time.Microsecond))
 	}
 	return nil
 }

@@ -85,3 +85,35 @@ func TestTrimodelErrors(t *testing.T) {
 		t.Errorf("uniform order rejected: %v", err)
 	}
 }
+
+func TestTrimodelWorkerDeterminism(t *testing.T) {
+	// Concurrent evaluation must not change any value or the print order;
+	// only the timing suffixes may differ between runs.
+	stripTimes := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if i := strings.LastIndex(line, "("); i >= 0 && strings.HasSuffix(line, ")") {
+				line = strings.TrimRight(line[:i], " ")
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	var want string
+	for _, workers := range []string{"1", "4"} {
+		var out strings.Builder
+		err := run([]string{"-n", "1e5", "-eval", "all", "-workers", workers}, &out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := stripTimes(out.String())
+		if want == "" {
+			want = got
+			if !strings.Contains(want, "discrete") || !strings.Contains(want, "limit") {
+				t.Fatalf("output incomplete:\n%s", want)
+			}
+		} else if got != want {
+			t.Errorf("-workers %s output differs:\n%s\nwant:\n%s", workers, got, want)
+		}
+	}
+}

@@ -37,6 +37,7 @@ func run(args []string, w io.Writer) error {
 	matrix := fs.Bool("matrix", false, "print the 4-method × 6-order cost matrix (Table 12 layout)")
 	speedRatio := fs.Float64("speed-ratio", 2.9, "SEI-vs-hash per-operation speed ratio for the method choice (§2.4; Table 3 measures ≈95 for SIMD C++, ≈3 for this repo's Go)")
 	seed := fs.Uint64("seed", 1, "seed for the uniform order column")
+	workers := fs.Int("workers", 0, "goroutines for the cost matrix (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -93,7 +94,7 @@ func run(args []string, w io.Writer) error {
 		choice.Method, choice.WN, choice.SpeedRatio)
 
 	if *matrix {
-		m, err := experiments.MatrixForGraph(g, 0, stats.NewRNGFromSeed(*seed))
+		m, err := experiments.MatrixForGraph(g, 0, stats.NewRNGFromSeed(*seed), *workers)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"trilist/internal/degseq"
+	"trilist/internal/digraph"
+	"trilist/internal/gen"
+	"trilist/internal/listing"
+	"trilist/internal/model"
+	"trilist/internal/order"
+	"trilist/internal/stats"
+)
+
+// This file is the parallel Monte-Carlo engine behind every simulated
+// table. The contract, enforced by TestWorkerCountInvariance, is that
+// table output is byte-identical for any worker count:
+//
+//  1. RNG derivation stays serial. All per-trial generators are derived
+//     up front, on one goroutine, in exactly the nesting order of the
+//     original serial loop (sequence → graph → uniform-order spec).
+//     RNG.Child touches only the parent's derivation counter, never its
+//     value stream, so pre-derivation yields the same streams as lazy
+//     derivation inside the loops did.
+//  2. Workers write results only to index-addressed slots, so scheduling
+//     order cannot influence any intermediate value.
+//  3. Accumulation shards are fixed by the protocol (one shard per
+//     degree sequence), not by the worker count, and shards merge via
+//     stats.Sample.Merge in sequence order.
+
+// workerCount resolves Config.Workers; 0 or negative selects GOMAXPROCS.
+func (c Config) workerCount() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// forEachIndex runs fn(i) for every i in [0, jobs) across at most
+// workers goroutines pulling indices from a shared counter. Each fn must
+// confine its writes to slots addressed by its own index. The returned
+// error is the lowest-index failure, so error reporting is as
+// deterministic as the results; later jobs still run after a failure
+// (protocol runs are short and every fn is side-effect-free on error).
+func forEachIndex(workers, jobs int, fn func(int) error) error {
+	if workers > jobs {
+		workers = jobs
+	}
+	if workers <= 1 {
+		for i := 0; i < jobs; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, jobs)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= jobs {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// trialRNGs holds the pre-derived generators for one (sequence, graph)
+// trial: the graph generator's stream plus one stream per spec that
+// requires a uniform order.
+type trialRNGs struct {
+	graph  *stats.RNG
+	orders []*stats.RNG
+}
+
+// simulateCost averages the measured per-node cost of (method, order)
+// over Seqs × Graphs instances of the Pareto(α) family at size n, with
+// trials dispatched to Config.Workers goroutines. The cost is evaluated
+// exactly from the orientation's degree sums (eqs. 7–9 / Table 1), which
+// equals what an instrumented listing run measures (verified by the
+// listing package's tests) at a fraction of the time.
+func simulateCost(p degseq.Pareto, n int, trunc degseq.Truncation,
+	specs []model.Spec, cfg Config, rng *stats.RNG) ([]stats.Sample, error) {
+
+	tr, err := degseq.TruncateFor(p, trunc, int64(n))
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 1 — serial RNG derivation (see the determinism contract above).
+	seqRNGs := make([]*stats.RNG, cfg.Seqs)
+	trials := make([]trialRNGs, cfg.Seqs*cfg.Graphs)
+	for s := 0; s < cfg.Seqs; s++ {
+		seqRNGs[s] = rng.Child()
+		for g := 0; g < cfg.Graphs; g++ {
+			t := &trials[s*cfg.Graphs+g]
+			t.graph = rng.Child()
+			t.orders = make([]*stats.RNG, len(specs))
+			for i, spec := range specs {
+				if spec.Order == order.KindUniform {
+					t.orders[i] = rng.Child()
+				}
+			}
+		}
+	}
+
+	workers := cfg.workerCount()
+
+	// Phase 2 — degree sequences, one per Seqs slot; each is then shared
+	// read-only by that sequence's Graphs trials.
+	seqs := make([]degseq.Sequence, cfg.Seqs)
+	if err := forEachIndex(workers, cfg.Seqs, func(s int) error {
+		d := degseq.Sample(tr, n, seqRNGs[s])
+		d.MakeEven()
+		seqs[s] = d
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 3 — trials: generate the graph, orient it per spec, and record
+	// the per-node model cost into the trial's own slot.
+	costs := make([][]float64, len(trials))
+	if err := forEachIndex(workers, len(trials), func(t int) error {
+		gr, _, err := gen.ResidualDegree(seqs[t/cfg.Graphs], trials[t].graph)
+		if err != nil {
+			return err
+		}
+		c := make([]float64, len(specs))
+		for i, spec := range specs {
+			rank, err := order.Rank(gr, spec.Order, trials[t].orders[i])
+			if err != nil {
+				return err
+			}
+			o, err := digraph.Orient(gr, rank)
+			if err != nil {
+				return err
+			}
+			c[i] = listing.ModelCost(o, spec.Method) / float64(n)
+		}
+		costs[t] = c
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	// Phase 4 — accumulate each sequence's trials into a shard (in graph
+	// order) and merge shards in sequence order. The merge tree is fixed
+	// by (Seqs, Graphs) alone, never by worker count.
+	sims := make([]stats.Sample, len(specs))
+	for s := 0; s < cfg.Seqs; s++ {
+		shard := make([]stats.Sample, len(specs))
+		for g := 0; g < cfg.Graphs; g++ {
+			for i := range specs {
+				shard[i].Add(costs[s*cfg.Graphs+g][i])
+			}
+		}
+		for i := range specs {
+			sims[i].Merge(shard[i])
+		}
+	}
+	return sims, nil
+}

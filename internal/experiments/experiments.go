@@ -17,8 +17,6 @@ import (
 	"time"
 
 	"trilist/internal/degseq"
-	"trilist/internal/digraph"
-	"trilist/internal/gen"
 	"trilist/internal/listing"
 	"trilist/internal/model"
 	"trilist/internal/order"
@@ -36,6 +34,10 @@ type Config struct {
 	Seed uint64
 	// SurrogateN is the Twitter-surrogate size for Table 12.
 	SurrogateN int
+	// Workers bounds the goroutines running Monte-Carlo trials; 0 selects
+	// GOMAXPROCS. Results are byte-identical for every worker count (see
+	// engine.go for the determinism contract).
+	Workers int
 }
 
 // DefaultConfig returns the laptop-scale defaults: sizes 10⁴/3·10⁴/10⁵,
@@ -74,50 +76,6 @@ func (c Config) validate() error {
 		return fmt.Errorf("experiments: need at least 1 sequence and 1 graph")
 	}
 	return nil
-}
-
-// simulateCost averages the measured per-node cost of (method, order)
-// over Seqs × Graphs instances of the Pareto(α) family at size n.
-// The cost is evaluated exactly from the orientation's degree sums
-// (eqs. 7–9 / Table 1), which equals what an instrumented listing run
-// measures (verified by the listing package's tests) at a fraction of
-// the time.
-func simulateCost(p degseq.Pareto, n int, trunc degseq.Truncation,
-	specs []model.Spec, cfg Config, rng *stats.RNG) ([]stats.Sample, error) {
-
-	sims := make([]stats.Sample, len(specs))
-	tr, err := degseq.TruncateFor(p, trunc, int64(n))
-	if err != nil {
-		return nil, err
-	}
-	for s := 0; s < cfg.Seqs; s++ {
-		seqRng := rng.Child()
-		d := degseq.Sample(tr, n, seqRng)
-		d.MakeEven()
-		for g := 0; g < cfg.Graphs; g++ {
-			graphRng := rng.Child()
-			gr, _, err := gen.ResidualDegree(d, graphRng)
-			if err != nil {
-				return nil, err
-			}
-			for i, spec := range specs {
-				var orng *stats.RNG
-				if spec.Order == order.KindUniform {
-					orng = rng.Child()
-				}
-				rank, err := order.Rank(gr, spec.Order, orng)
-				if err != nil {
-					return nil, err
-				}
-				o, err := digraph.Orient(gr, rank)
-				if err != nil {
-					return nil, err
-				}
-				sims[i].Add(listing.ModelCost(o, spec.Method) / float64(n))
-			}
-		}
-	}
-	return sims, nil
 }
 
 // PairRow is one size row of a sim-vs-model table with two columns.

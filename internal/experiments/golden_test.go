@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+// goldenConfig is a fixed-seed, scaled-down protocol for golden-file
+// comparison. A reduced scale (rather than DefaultConfig's 10⁵-node
+// rows) keeps `go test ./...` fast; the engine's worker-count invariance
+// means the same bytes come out of any machine regardless of
+// parallelism, which is exactly what the goldens pin down.
+func goldenConfig() Config {
+	return Config{
+		Sizes:      []int{1000, 2000},
+		Seqs:       2,
+		Graphs:     2,
+		Seed:       20170514,
+		SurrogateN: 6000,
+		Workers:    3, // deliberately parallel: goldens must not depend on it
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/experiments -update` to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestGoldenCSV pins the CSV emitters of report.go against checked-in
+// goldens at a fixed seed. Table 5 and Table 3 CSVs embed wall-clock
+// timings, so only the deterministic writers are pinned.
+func TestGoldenCSV(t *testing.T) {
+	cfg := goldenConfig()
+	t.Run("table6", func(t *testing.T) {
+		tab, err := Table6(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := tab.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "table6.csv", buf.Bytes())
+	})
+	t.Run("table11", func(t *testing.T) {
+		rows, err := Table11(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteTable11CSV(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "table11.csv", buf.Bytes())
+	})
+	t.Run("table12", func(t *testing.T) {
+		res, err := Table12(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := res.WriteCSV(&buf); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "table12.csv", buf.Bytes())
+	})
+}

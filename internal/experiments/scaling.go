@@ -34,7 +34,11 @@ type ScalingRow struct {
 // This covers the one asymptotic statement of the paper that Tables
 // 5–12 do not touch; there is no corresponding paper table, so only
 // stabilization (not absolute values) is checked.
-func Scaling(alpha float64, sizes []float64) ([]ScalingRow, error) {
+//
+// The ladder rungs are independent model evaluations, so they run on up
+// to workers goroutines (0 selects GOMAXPROCS); every row lands in its
+// size's slot, so the output is identical for any worker count.
+func Scaling(alpha float64, sizes []float64, workers int) ([]ScalingRow, error) {
 	if alpha <= 1 || alpha >= 4.0/3 {
 		return nil, fmt.Errorf("experiments: scaling study needs α in (1, 4/3) so both methods diverge, got %v", alpha)
 	}
@@ -44,31 +48,38 @@ func Scaling(alpha float64, sizes []float64) ([]ScalingRow, error) {
 	p := degseq.Pareto{Alpha: alpha, Beta: 30 * (alpha - 1)}
 	specT1 := model.Spec{Method: listing.T1, Order: order.KindDescending}
 	specE1 := model.Spec{Method: listing.E1, Order: order.KindDescending}
-	var rows []ScalingRow
-	for _, n := range sizes {
+	if workers <= 0 {
+		workers = Config{}.workerCount()
+	}
+	rows := make([]ScalingRow, len(sizes))
+	if err := forEachIndex(workers, len(sizes), func(i int) error {
+		n := sizes[i]
 		tn := float64(int64(sqrtFloor(n)))
 		cdf := model.ParetoTruncatedCDF(p, tn)
 		c1, err := model.QuickCost(specT1, cdf, tn, 1e-5)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		c2, err := model.QuickCost(specE1, cdf, tn, 1e-5)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		a, err := model.ScalingT1(alpha, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		b, err := model.ScalingE1(alpha, n)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		rows = append(rows, ScalingRow{
+		rows[i] = ScalingRow{
 			N: n, CostT1: c1, CostE1: c2,
 			RateT1: a, RateE1: b,
 			RatioT1: c1 / a, RatioE1: c2 / b,
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -10,7 +10,7 @@ func TestScalingRatiosStabilize(t *testing.T) {
 	// §6.3: with α = 1.2 (below both finiteness thresholds) and root
 	// truncation, cost(T1+θ_D)/a_n and cost(E1+θ_D)/b_n must flatten as
 	// n grows while the raw costs diverge.
-	rows, err := Scaling(1.2, []float64{1e6, 1e8, 1e10, 1e12, 1e14})
+	rows, err := Scaling(1.2, []float64{1e6, 1e8, 1e10, 1e12, 1e14}, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,10 +46,10 @@ func TestScalingRatiosStabilize(t *testing.T) {
 }
 
 func TestScalingValidation(t *testing.T) {
-	if _, err := Scaling(1.5, nil); err == nil {
+	if _, err := Scaling(1.5, nil, 0); err == nil {
 		t.Error("α outside (1, 4/3) accepted")
 	}
-	if _, err := Scaling(0.9, nil); err == nil {
+	if _, err := Scaling(0.9, nil, 0); err == nil {
 		t.Error("α <= 1 accepted")
 	}
 }

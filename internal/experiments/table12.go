@@ -57,13 +57,16 @@ func Table12(cfg Config) (*Table12Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	return MatrixForGraph(g, alpha, rng)
+	return MatrixForGraph(g, alpha, rng, cfg.workerCount())
 }
 
 // MatrixForGraph fills the Table 12 cost matrix for an arbitrary graph
 // (e.g. one loaded from disk); alpha is recorded for display only and
-// rng seeds the uniform order.
-func MatrixForGraph(g *graph.Graph, alpha float64, rng *stats.RNG) (*Table12Result, error) {
+// rng seeds the uniform order. The six orders are oriented and costed on
+// up to workers goroutines (0 selects GOMAXPROCS); the uniform order's
+// generator is derived serially first, so the matrix is byte-identical
+// for every worker count.
+func MatrixForGraph(g *graph.Graph, alpha float64, rng *stats.RNG, workers int) (*Table12Result, error) {
 	res := &Table12Result{
 		N:       g.NumNodes(),
 		M:       g.NumEdges(),
@@ -71,22 +74,30 @@ func MatrixForGraph(g *graph.Graph, alpha float64, rng *stats.RNG) (*Table12Resu
 		Methods: [4]listing.Method{listing.T1, listing.T2, listing.E1, listing.E4},
 	}
 	copy(res.Orders[:], order.Kinds)
+	orngs := make([]*stats.RNG, len(res.Orders))
 	for oi, kind := range res.Orders {
-		var orng *stats.RNG
 		if kind == order.KindUniform {
-			orng = rng.Child()
+			orngs[oi] = rng.Child()
 		}
-		rank, err := order.Rank(g, kind, orng)
+	}
+	if workers <= 0 {
+		workers = Config{}.workerCount()
+	}
+	if err := forEachIndex(workers, len(res.Orders), func(oi int) error {
+		rank, err := order.Rank(g, res.Orders[oi], orngs[oi])
 		if err != nil {
-			return nil, err
+			return err
 		}
 		o, err := digraph.Orient(g, rank)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		for mi, m := range res.Methods {
 			res.Ops[mi][oi] = listing.ModelCost(o, m)
 		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -56,6 +56,34 @@ func (s *Sample) Add(x float64) {
 	s.m2 += d * (x - s.mean)
 }
 
+// Merge folds another sample into s, as if every observation of o had
+// been Added to s. It uses the parallel-variance update of Chan, Golub
+// and LeVeque, which combines (n, mean, M2) pairs exactly; min and max
+// merge trivially. Merge is what the parallel experiment engine uses to
+// combine per-shard accumulations, so its result must not depend on
+// which goroutine produced which shard — it depends only on the two
+// operand states.
+func (s *Sample) Merge(o Sample) {
+	if o.n == 0 {
+		return
+	}
+	if s.n == 0 {
+		*s = o
+		return
+	}
+	n := s.n + o.n
+	delta := o.mean - s.mean
+	s.mean += delta * float64(o.n) / float64(n)
+	s.m2 += o.m2 + delta*delta*float64(s.n)*float64(o.n)/float64(n)
+	if o.min < s.min {
+		s.min = o.min
+	}
+	if o.max > s.max {
+		s.max = o.max
+	}
+	s.n = n
+}
+
 // N returns the number of observations.
 func (s *Sample) N() int64 { return s.n }
 
