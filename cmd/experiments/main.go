@@ -198,6 +198,11 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(w, experiments.FormatScaling(1.2, rows))
+		if err := writeCSV("scaling.csv", func(f io.Writer) error {
+			return experiments.WriteScalingCSV(f, rows)
+		}); err != nil {
+			return err
+		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown table %q", *table)

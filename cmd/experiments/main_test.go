@@ -53,6 +53,21 @@ func TestExperimentsCSVOutput(t *testing.T) {
 	}
 }
 
+func TestExperimentsScalingCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-table", "scaling", "-csv", dir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "scaling.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "cost/a_n") || !strings.Contains(string(data), "cost/b_n") {
+		t.Fatalf("scaling CSV incomplete:\n%s", data)
+	}
+}
+
 // stripTimings drops wall-clock lines so runs are comparable.
 func stripTimings(s string) string {
 	var kept []string

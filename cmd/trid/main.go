@@ -1,0 +1,94 @@
+// Command trid runs the triangle-listing service daemon: an HTTP JSON
+// API over a resident-graph registry and a bounded, cancellable job
+// queue (see internal/server).
+//
+// Usage:
+//
+//	trid [-addr :8080] [-cache-bytes 1073741824] [-queue 64] \
+//	     [-workers 0] [-drain-timeout 30s]
+//
+// The daemon logs its listen address on startup and shuts down
+// gracefully on SIGINT/SIGTERM: new submissions get 503 while queued
+// and in-flight jobs drain, bounded by -drain-timeout (after which
+// remaining sweeps are cancelled at their next checkpoint).
+//
+//	curl -X POST --data-binary @graph.txt localhost:8080/v1/graphs
+//	curl -X POST -d '{"graph":"sha256:...","method":"E1","wait":true}' \
+//	     localhost:8080/v1/jobs
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"trilist/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "trid:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the daemon and blocks until ctx is cancelled (signal) and
+// the drain completes. The listen address is printed to out once the
+// listener is bound, so scripts (and tests) can use -addr :0.
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("trid", flag.ContinueOnError)
+	addr := fs.String("addr", ":8080", "listen address (host:port, port 0 picks a free port)")
+	cacheBytes := fs.Int64("cache-bytes", 1<<30, "registry byte budget for resident graphs and orientations")
+	queueDepth := fs.Int("queue", 64, "job queue depth; submissions beyond it get 503")
+	workers := fs.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
+	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Options{
+		CacheBytes: *cacheBytes,
+		QueueDepth: *queueDepth,
+		Workers:    *workers,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trid listening on %s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(out, "trid draining")
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain the job queue first (new work 503s from here on), then close
+	// the HTTP listener so clients can still poll results meanwhile.
+	if err := srv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(out, "trid: drain incomplete: %v\n", err)
+	}
+	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	<-serveErr // Serve has returned http.ErrServerClosed
+	fmt.Fprintln(out, "trid stopped")
+	return nil
+}

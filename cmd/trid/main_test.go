@@ -1,0 +1,114 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer makes the daemon's log writer safe to read while run()
+// is still writing from its own goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestDaemonLifecycle boots the daemon on an ephemeral port, serves a
+// register→count round trip, then shuts it down via context cancel
+// (the signal path) and checks the drain messages.
+func TestDaemonLifecycle(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"}, out) }()
+
+	// The listen line appears once the port is bound.
+	var addr string
+	deadline := time.Now().Add(5 * time.Second)
+	for addr == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output:\n%s", out.String())
+		}
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, "trid listening on "); ok {
+				addr = rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	base := "http://" + addr
+
+	resp, err := http.Post(base+"/v1/graphs", "text/plain",
+		strings.NewReader("0 1\n0 2\n0 3\n1 2\n1 3\n2 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var gi struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&gi); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated || gi.ID == "" {
+		t.Fatalf("register: status %d id %q", resp.StatusCode, gi.ID)
+	}
+
+	body, _ := json.Marshal(map[string]any{"graph": gi.ID, "method": "E1", "wait": true})
+	resp, err = http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		Status    string `json:"status"`
+		Triangles int64  `json:"triangles"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if v.Status != "done" || v.Triangles != 4 {
+		t.Fatalf("count job: %+v", v)
+	}
+
+	cancel() // the SIGINT path
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+	text := out.String()
+	if !strings.Contains(text, "trid draining") || !strings.Contains(text, "trid stopped") {
+		t.Fatalf("missing drain messages:\n%s", text)
+	}
+}
+
+func TestDaemonBadFlags(t *testing.T) {
+	if err := run(context.Background(), []string{"-addr"}, &syncBuffer{}); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+	if err := run(context.Background(), []string{"-addr", "256.0.0.1:bogus"}, &syncBuffer{}); err == nil {
+		t.Fatal("unlistenable address accepted")
+	}
+}

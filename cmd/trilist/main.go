@@ -4,7 +4,7 @@
 // Usage:
 //
 //	trilist -in graph.txt [-method T1] [-order auto] [-print] [-seed 1] \
-//	        [-workers 1] [-parts 1] [-spill dir]
+//	        [-workers 1] [-parts 1] [-spill dir] [-timeout 0]
 //
 // With -order auto the paper-optimal order for the method is used
 // (θ_D for T1/E1, RR for T2, CRR for E4, ...). -print emits each triangle
@@ -12,11 +12,15 @@
 // meters. Input may be a text edge list or the binary CSR format
 // (auto-detected). -workers N parallelizes the sweep; -parts P > 1
 // switches to the external-memory partitioned lister (ignoring -method),
-// spilling blocks to -spill (or memory if unset).
+// spilling blocks to -spill (or memory if unset). -timeout bounds the
+// sweep; on expiry trilist exits non-zero after reporting the partial
+// triangle count.
 package main
 
 import (
 	"bufio"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -47,6 +51,7 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 1, "parallel listing goroutines (visitor-safe methods only)")
 	parts := fs.Int("parts", 1, "external-memory partitions (>1 enables the partitioned lister)")
 	spill := fs.String("spill", "", "spill directory for -parts (default: in-memory blocks)")
+	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -79,9 +84,23 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(w, "# graph: n=%d m=%d\n", g.NumNodes(), g.NumEdges())
 	if *parts > 1 {
+		if *timeout > 0 {
+			return fmt.Errorf("-timeout is not supported with -parts > 1")
+		}
 		return runPartitioned(g, kind, *parts, *spill, *seed, visit, w)
 	}
-	res, err := core.List(g, core.Config{Method: method, Order: kind, Seed: *seed, Workers: *workers}, visit)
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := core.ListCtx(ctx, g, core.Config{Method: method, Order: kind, Seed: *seed, Workers: *workers}, visit)
+	if errors.Is(err, context.DeadlineExceeded) {
+		// Non-zero exit, but report how far the sweep got.
+		return fmt.Errorf("deadline exceeded after %v: %d triangles found before the sweep was cut short",
+			*timeout, res.Triangles)
+	}
 	if err != nil {
 		return err
 	}

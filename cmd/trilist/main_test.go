@@ -107,6 +107,31 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+func TestRunTimeout(t *testing.T) {
+	path := writeTempGraph(t, k4)
+	// 1ns expires before the sweep's first cancellation checkpoint.
+	var out strings.Builder
+	err := run([]string{"-in", path, "-timeout", "1ns"}, &out)
+	if err == nil {
+		t.Fatal("expired deadline not reported")
+	}
+	if !strings.Contains(err.Error(), "deadline exceeded") {
+		t.Fatalf("error %q does not mention the deadline", err)
+	}
+	// A generous deadline changes nothing.
+	out.Reset()
+	if err := run([]string{"-in", path, "-method", "E1", "-timeout", "1m"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "triangles=4") {
+		t.Fatalf("timed run lost the count:\n%s", out.String())
+	}
+	// -timeout cannot bound the partitioned lister.
+	if err := run([]string{"-in", path, "-parts", "2", "-timeout", "1s"}, &out); err == nil {
+		t.Fatal("-timeout with -parts accepted")
+	}
+}
+
 func TestParseHelpers(t *testing.T) {
 	if m, err := parseMethod("e5"); err != nil || m != listing.E5 {
 		t.Fatalf("parseMethod(e5) = %v, %v", m, err)

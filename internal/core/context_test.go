@@ -1,0 +1,79 @@
+package core
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"trilist/internal/gen"
+	"trilist/internal/graph"
+	"trilist/internal/listing"
+	"trilist/internal/order"
+	"trilist/internal/stats"
+)
+
+func ctxTestGraph(t testing.TB, n int, m int64) *graph.Graph {
+	t.Helper()
+	g, err := gen.ErdosRenyi(n, m, stats.NewRNGFromSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestListCtxMatchesList(t *testing.T) {
+	g := ctxTestGraph(t, 400, 4000)
+	cfg := Config{Method: listing.E1, Order: order.KindDescending, Workers: 3}
+	want, err := List(g, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ListCtx(context.Background(), g, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Stats != want.Stats {
+		t.Fatalf("ListCtx stats %+v != List stats %+v", got.Stats, want.Stats)
+	}
+}
+
+func TestListCtxCancelledReturnsPartial(t *testing.T) {
+	g := ctxTestGraph(t, 3000, 40000)
+	cfg := Config{Method: listing.E1, Order: order.KindDescending}
+	total, err := Count(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total < 10 {
+		t.Fatalf("test graph too sparse: %d triangles", total)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen int64
+	res, err := ListCtx(ctx, g, cfg, func(x, y, z int32) {
+		if atomic.AddInt64(&seen, 1) == 4 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Triangles != seen {
+		t.Fatalf("partial result reports %d triangles, visitor saw %d", res.Triangles, seen)
+	}
+	if res.Triangles >= total {
+		t.Fatalf("cancelled sweep still listed all %d triangles", total)
+	}
+}
+
+func TestListCtxExpiredBeforeSweep(t *testing.T) {
+	g := ctxTestGraph(t, 100, 500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := ListCtx(ctx, g, Config{Method: listing.T1, Order: order.KindDescending}, nil)
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res.Triangles != 0 {
+		t.Fatalf("expired context still listed %d triangles", res.Triangles)
+	}
+}

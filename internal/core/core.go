@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -92,26 +93,48 @@ func Prepare(g *graph.Graph, cfg Config) (*digraph.Oriented, error) {
 // List runs the configured method over g and reports each triangle to
 // visit (which may be nil) with relabeled IDs x < y < z.
 func List(g *graph.Graph, cfg Config, visit listing.Visitor) (Result, error) {
+	return ListCtx(context.Background(), g, cfg, visit)
+}
+
+// ListCtx is List with cooperative cancellation: the listing sweep polls
+// ctx at block granularity and stops early once ctx is done. On
+// cancellation the returned error is ctx.Err() and the Result carries
+// the partial Stats accumulated up to the stop — every triangle counted
+// there was reported to the visitor exactly once. The preprocessing
+// steps (relabel + orient) are not cancellable; ctx is only consulted
+// before and during the sweep.
+func ListCtx(ctx context.Context, g *graph.Graph, cfg Config, visit listing.Visitor) (Result, error) {
 	t0 := time.Now()
 	o, err := Prepare(g, cfg)
 	if err != nil {
 		return Result{}, err
 	}
 	t1 := time.Now()
+	res, err := ListOriented(ctx, o, cfg, visit)
+	res.PrepTime = t1.Sub(t0)
+	return res, err
+}
+
+// ListOriented runs step 3 only, over an already prepared orientation —
+// the entry point for callers that amortize Prepare across many runs
+// (the trid server's graph registry). Cancellation semantics match
+// ListCtx; PrepTime is zero.
+func ListOriented(ctx context.Context, o *digraph.Oriented, cfg Config, visit listing.Visitor) (Result, error) {
+	t1 := time.Now()
 	var st listing.Stats
+	var runErr error
 	if cfg.Workers > 1 {
-		st = listing.RunParallel(o, cfg.Method, cfg.Workers, visit)
+		st, runErr = listing.RunParallelCtx(ctx, o, cfg.Method, cfg.Workers, visit)
 	} else {
-		st = listing.Run(o, cfg.Method, visit)
+		st, runErr = listing.RunCtx(ctx, o, cfg.Method, visit)
 	}
 	t2 := time.Now()
 	return Result{
 		Stats:     st,
 		Order:     cfg.Order,
 		MaxOutDeg: o.MaxOutDeg(),
-		PrepTime:  t1.Sub(t0),
 		ListTime:  t2.Sub(t1),
-	}, nil
+	}, runErr
 }
 
 // Count returns the number of triangles in g using the configured method.

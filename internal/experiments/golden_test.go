@@ -86,4 +86,28 @@ func TestGoldenCSV(t *testing.T) {
 		}
 		checkGolden(t, "table12.csv", buf.Bytes())
 	})
+	t.Run("table3", func(t *testing.T) {
+		// Table3() itself embeds wall-clock throughput, so the golden pins
+		// the *writer* against a fixed result — the paper's own numbers
+		// (19 vs. 1801 Mops/s on the i7-3930K).
+		res := &Table3Result{HashMops: 19, ScanMops: 1801}
+		res.Ratio = res.ScanMops / res.HashMops
+		var buf bytes.Buffer
+		if err := WriteTable3CSV(&buf, res); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "table3.csv", buf.Bytes())
+	})
+	t.Run("scaling", func(t *testing.T) {
+		// Pure model evaluation: deterministic at any worker count.
+		rows, err := Scaling(1.2, []float64{1e6, 1e8, 1e10}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := WriteScalingCSV(&buf, rows); err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, "scaling.csv", buf.Bytes())
+	})
 }

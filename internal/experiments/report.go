@@ -123,6 +123,27 @@ func (r *Table12Result) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
+// WriteScalingCSV emits the §6.3 divergence-rate study.
+func WriteScalingCSV(w io.Writer, rows []ScalingRow) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{
+		"n", "cost_T1", "a_n", "cost/a_n", "cost_E1", "b_n", "cost/b_n",
+	}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			fmtF(r.N),
+			fmtF(r.CostT1), fmtF(r.RateT1), fmtF(r.RatioT1),
+			fmtF(r.CostE1), fmtF(r.RateE1), fmtF(r.RatioE1),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
 // WriteTable3CSV emits the operation-speed microbenchmark.
 func WriteTable3CSV(w io.Writer, r *Table3Result) error {
 	cw := csv.NewWriter(w)

@@ -1,0 +1,181 @@
+package extmem
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// failStore wraps a BlockStore and injects an error once a countdown of
+// Append or Read calls runs out — fault injection for Run's partition
+// and triple passes, in the spirit of internal/graph's failWriter.
+type failStore struct {
+	inner       BlockStore
+	appendsLeft int // inject on the call after this many succeed (-1 = never)
+	readsLeft   int
+}
+
+var errInjected = errors.New("synthetic: store fault")
+
+func (s *failStore) Append(i, j int, arcs []Arc) error {
+	if s.appendsLeft == 0 {
+		return errInjected
+	}
+	if s.appendsLeft > 0 {
+		s.appendsLeft--
+	}
+	return s.inner.Append(i, j, arcs)
+}
+
+func (s *failStore) Read(i, j int) ([]Arc, error) {
+	if s.readsLeft == 0 {
+		return nil, errInjected
+	}
+	if s.readsLeft > 0 {
+		s.readsLeft--
+	}
+	return s.inner.Read(i, j)
+}
+
+func (s *failStore) Stats() IOStats { return s.inner.Stats() }
+func (s *failStore) Close() error   { return s.inner.Close() }
+
+// TestRunPropagatesAppendErrors fails the k-th Append of the
+// partitioning pass for increasing k until Run survives them all.
+func TestRunPropagatesAppendErrors(t *testing.T) {
+	o := orientedTestGraph(t, 7, 200, 2500)
+	for k := 0; ; k++ {
+		if k > 1000 {
+			t.Fatal("append countdown never exhausted the partition pass")
+		}
+		fs := &failStore{inner: NewMemStore(), appendsLeft: k, readsLeft: -1}
+		_, err := Run(o, 3, fs, nil)
+		if err == nil {
+			if k == 0 {
+				t.Fatal("first-append fault not propagated")
+			}
+			return // every Append of this run succeeded; fault space covered
+		}
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("k=%d: got %v, want injected fault", k, err)
+		}
+		fs.Close()
+	}
+}
+
+// TestRunPropagatesReadErrors fails the k-th Read of the triple passes.
+func TestRunPropagatesReadErrors(t *testing.T) {
+	o := orientedTestGraph(t, 7, 200, 2500)
+	for k := 0; ; k++ {
+		if k > 10000 {
+			t.Fatal("read countdown never exhausted the triple passes")
+		}
+		fs := &failStore{inner: NewMemStore(), appendsLeft: -1, readsLeft: k}
+		_, err := Run(o, 3, fs, nil)
+		if err == nil {
+			if k == 0 {
+				t.Fatal("first-read fault not propagated")
+			}
+			return
+		}
+		if !errors.Is(err, errInjected) {
+			t.Fatalf("k=%d: got %v, want injected fault", k, err)
+		}
+		fs.Close()
+	}
+}
+
+// TestFileStoreReadTruncatedRecord corrupts a spilled block file so its
+// byte length is not a multiple of the 8-byte arc record.
+func TestFileStoreReadTruncatedRecord(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if err := s.Append(1, 0, []Arc{{Y: 5, X: 2}, {Y: 7, X: 3}}); err != nil {
+		t.Fatal(err)
+	}
+	// Chop the last record in half.
+	if err := os.Truncate(s.path(1, 0), 12); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Read(1, 0)
+	if err == nil {
+		t.Fatal("truncated block read succeeded")
+	}
+	if !strings.Contains(err.Error(), "block (1,0)") {
+		t.Fatalf("error %q does not identify the block", err)
+	}
+}
+
+// TestNewFileStoreUncreatableDir roots the store under a regular file,
+// so MkdirAll must fail.
+func TestNewFileStoreUncreatableDir(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "occupied")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewFileStore(filepath.Join(file, "sub")); err == nil {
+		t.Fatal("store rooted under a regular file was created")
+	}
+}
+
+// TestStoresRejectUseAfterClose covers both stores' closed paths.
+func TestStoresRejectUseAfterClose(t *testing.T) {
+	for _, mk := range []func() (BlockStore, error){
+		func() (BlockStore, error) { return NewMemStore(), nil },
+		func() (BlockStore, error) { return NewFileStore(t.TempDir()) },
+	} {
+		s, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(0, 0, []Arc{{Y: 1, X: 0}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Append(0, 0, []Arc{{Y: 1, X: 0}}); err == nil {
+			t.Errorf("%T: Append after Close succeeded", s)
+		}
+		if _, err := s.Read(0, 0); err == nil {
+			t.Errorf("%T: Read after Close succeeded", s)
+		}
+		// Double Close is harmless.
+		if err := s.Close(); err != nil {
+			t.Errorf("%T: second Close: %v", s, err)
+		}
+	}
+}
+
+// TestFileStoreCloseRemovesBlocks verifies Close deletes exactly the
+// files the store spilled.
+func TestFileStoreCloseRemovesBlocks(t *testing.T) {
+	dir := t.TempDir()
+	s, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(2, 1, []Arc{{Y: 9, X: 4}}); err != nil {
+		t.Fatal(err)
+	}
+	keep := filepath.Join(dir, "unrelated.txt")
+	if err := os.WriteFile(keep, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "unrelated.txt" {
+		t.Fatalf("directory after Close: %v", entries)
+	}
+}

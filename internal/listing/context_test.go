@@ -1,0 +1,126 @@
+package listing
+
+import (
+	"context"
+	"sync/atomic"
+	"testing"
+
+	"trilist/internal/order"
+)
+
+// TestRunCtxMatchesRun asserts that an uncancelled RunCtx (serial and
+// parallel) produces Stats bitwise identical to the unstoppable
+// entry points, for every method family.
+func TestRunCtxMatchesRun(t *testing.T) {
+	g := randomTestGraph(t, 5, 300, 3000)
+	o := orientBy(t, g, order.KindDescending, 1)
+	for _, m := range []Method{T1, T2, E1, E4, L1, L5} {
+		want := Run(o, m, nil)
+		got, err := RunCtx(context.Background(), o, m, nil)
+		if err != nil {
+			t.Fatalf("%v: RunCtx error: %v", m, err)
+		}
+		if got != want {
+			t.Fatalf("%v: RunCtx %+v != Run %+v", m, got, want)
+		}
+		for _, workers := range []int{2, 8} {
+			got, err := RunParallelCtx(context.Background(), o, m, workers, nil)
+			if err != nil {
+				t.Fatalf("%v workers=%d: RunParallelCtx error: %v", m, workers, err)
+			}
+			if got != want {
+				t.Fatalf("%v workers=%d: RunParallelCtx %+v != Run %+v", m, workers, got, want)
+			}
+		}
+	}
+}
+
+// TestRunCtxAlreadyCancelled asserts that an expired context stops the
+// sweep before any triangle is reported.
+func TestRunCtxAlreadyCancelled(t *testing.T) {
+	g := randomTestGraph(t, 6, 200, 1500)
+	o := orientBy(t, g, order.KindDescending, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, m := range []Method{T1, E1, L1} {
+		var visits int64
+		s, err := RunCtx(ctx, o, m, func(x, y, z int32) { atomic.AddInt64(&visits, 1) })
+		if err != context.Canceled {
+			t.Fatalf("%v: err = %v, want context.Canceled", m, err)
+		}
+		if s.Triangles != 0 || visits != 0 {
+			t.Fatalf("%v: cancelled run reported %d triangles (%d visits)", m, s.Triangles, visits)
+		}
+		s, err = RunParallelCtx(ctx, o, m, 4, nil)
+		if err != context.Canceled {
+			t.Fatalf("%v parallel: err = %v, want context.Canceled", m, err)
+		}
+		if s.Triangles != 0 {
+			t.Fatalf("%v parallel: cancelled run reported %d triangles", m, s.Triangles)
+		}
+	}
+}
+
+// TestRunCtxMidSweepCancellation cancels from inside the visitor and
+// checks the partial result: no duplicate triangles, count consistent
+// with the visitor's own tally, and the sweep stops early.
+func TestRunCtxMidSweepCancellation(t *testing.T) {
+	// Big enough that several cancelBlock checkpoints exist.
+	g := randomTestGraph(t, 7, 4*cancelBlock, 20*cancelBlock)
+	o := orientBy(t, g, order.KindDescending, 1)
+	total := Count(o, E1)
+	if total < 10 {
+		t.Fatalf("test graph too sparse: %d triangles", total)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var visits int64
+	s, err := RunCtx(ctx, o, E1, func(x, y, z int32) {
+		if atomic.AddInt64(&visits, 1) == 5 {
+			cancel()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if s.Triangles != visits {
+		t.Fatalf("partial stats report %d triangles, visitor saw %d", s.Triangles, visits)
+	}
+	if s.Triangles >= total {
+		t.Fatalf("cancelled sweep still listed all %d triangles", total)
+	}
+
+	// Parallel flavor: cancellation may land while several blocks are in
+	// flight, so only consistency (tally matches, sweep stopped) holds.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	var pvisits int64
+	ps, err := RunParallelCtx(ctx2, o, E1, 4, func(x, y, z int32) {
+		if atomic.AddInt64(&pvisits, 1) == 5 {
+			cancel2()
+		}
+	})
+	if err != context.Canceled {
+		t.Fatalf("parallel err = %v, want context.Canceled", err)
+	}
+	if ps.Triangles != atomic.LoadInt64(&pvisits) {
+		t.Fatalf("parallel partial stats report %d triangles, visitor saw %d", ps.Triangles, pvisits)
+	}
+	cancel()
+}
+
+// TestRunCtxPartialNeverExceedsModel: even a cancelled run's meters obey
+// the model bound (partial work <= partial volumes).
+func TestRunCtxPartialNeverExceedsModel(t *testing.T) {
+	g := randomTestGraph(t, 8, 3*cancelBlock, 9*cancelBlock)
+	o := orientBy(t, g, order.KindDescending, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	var n int64
+	s, _ := RunCtx(ctx, o, E1, func(x, y, z int32) {
+		if atomic.AddInt64(&n, 1) == 3 {
+			cancel()
+		}
+	})
+	if s.Comparisons > s.LocalScan+s.RemoteScan {
+		t.Fatalf("partial comparisons %d exceed partial model volume %d",
+			s.Comparisons, s.LocalScan+s.RemoteScan)
+	}
+}

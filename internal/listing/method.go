@@ -18,6 +18,7 @@
 package listing
 
 import (
+	"context"
 	"fmt"
 
 	"trilist/internal/digraph"
@@ -245,25 +246,11 @@ func (s Stats) ModelOps() int64 {
 }
 
 // Run executes method m on the oriented graph o, invoking visit (which
-// may be nil) for every triangle, and returns the run's Stats.
+// may be nil) for every triangle, and returns the run's Stats. It is
+// RunCtx with a background context: unstoppable once started; servers
+// and CLIs with deadlines use RunCtx instead.
 func Run(o *digraph.Oriented, m Method, visit Visitor) Stats {
-	if visit == nil {
-		visit = func(x, y, z int32) {}
-	}
-	s := Stats{Method: m}
-	n := int32(o.NumNodes())
-	switch {
-	case m >= T1 && m <= T6:
-		arcs := o.ArcSet()
-		s.HashBuild = int64(arcs.Len())
-		runVertex(o, m, arcs, visit, &s, 0, n)
-	case m >= E1 && m <= E6:
-		runSEI(o, m, visit, &s, 0, n)
-	case m >= L1 && m <= L6:
-		runLEI(o, m, visit, &s, 0, n)
-	default:
-		panic(fmt.Sprintf("listing: unknown method %d", int(m)))
-	}
+	s, _ := RunCtx(context.Background(), o, m, visit)
 	return s
 }
 

@@ -1,8 +1,7 @@
 package listing
 
 import (
-	"runtime"
-	"sync"
+	"context"
 
 	"trilist/internal/digraph"
 )
@@ -21,71 +20,9 @@ import (
 // to its unified framework: orientation makes anchors independent, so
 // vertex/edge iterators parallelize embarrassingly.
 //
-// Anchors are dealt in contiguous blocks interleaved round-robin so the
-// heavy labels (which cluster at one end under θ_A/θ_D) spread across
-// workers.
+// RunParallel is RunParallelCtx with a background context: unstoppable
+// once started. Servers and CLIs with deadlines use RunParallelCtx.
 func RunParallel(o *digraph.Oriented, m Method, workers int, visit Visitor) Stats {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	n := int32(o.NumNodes())
-	if workers > int(n) {
-		workers = int(n)
-	}
-	if workers <= 1 {
-		return Run(o, m, visit)
-	}
-	if visit == nil {
-		visit = func(x, y, z int32) {}
-	}
-	// Shared read-only arc set for vertex iterators.
-	var arcsLen int64
-	var runRange func(lo, hi int32, s *Stats)
-	switch m.Family() {
-	case VertexIterator:
-		set := o.ArcSet()
-		arcsLen = int64(set.Len())
-		runRange = func(lo, hi int32, s *Stats) { runVertex(o, m, set, visit, s, lo, hi) }
-	case ScanningEdgeIterator:
-		runRange = func(lo, hi int32, s *Stats) { runSEI(o, m, visit, s, lo, hi) }
-	default:
-		runRange = func(lo, hi int32, s *Stats) { runLEI(o, m, visit, s, lo, hi) }
-	}
-
-	// Interleaved blocks: worker w takes blocks w, w+workers, w+2·workers…
-	const blockSize = 512
-	numBlocks := (int(n) + blockSize - 1) / blockSize
-	parts := make([]Stats, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			s := &parts[w]
-			s.Method = m
-			for b := w; b < numBlocks; b += workers {
-				lo := int32(b * blockSize)
-				hi := lo + blockSize
-				if hi > n {
-					hi = n
-				}
-				runRange(lo, hi, s)
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	total := Stats{Method: m, HashBuild: arcsLen}
-	for _, p := range parts {
-		total.Triangles += p.Triangles
-		total.Candidates += p.Candidates
-		total.LocalScan += p.LocalScan
-		total.RemoteScan += p.RemoteScan
-		total.Lookups += p.Lookups
-		total.Comparisons += p.Comparisons
-		if m.Family() == LookupEdgeIterator {
-			total.HashBuild += p.HashBuild
-		}
-	}
-	return total
+	s, _ := RunParallelCtx(context.Background(), o, m, workers, visit)
+	return s
 }

@@ -1,0 +1,496 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"trilist/internal/core"
+	"trilist/internal/listing"
+	"trilist/internal/order"
+)
+
+// Sentinel errors the HTTP layer maps to status codes.
+var (
+	// ErrQueueFull means the bounded job queue is at capacity (503).
+	ErrQueueFull = errors.New("server: job queue full")
+	// ErrDraining means the server is shutting down (503).
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+	// ErrUnknownGraph means the job referenced an unregistered graph
+	// id (404).
+	ErrUnknownGraph = errors.New("server: graph not registered")
+)
+
+// JobStatus is the lifecycle state of a job.
+type JobStatus string
+
+const (
+	JobQueued    JobStatus = "queued"
+	JobRunning   JobStatus = "running"
+	JobDone      JobStatus = "done"
+	JobCancelled JobStatus = "cancelled"
+	JobFailed    JobStatus = "failed"
+)
+
+// JobSpec is the request body of POST /v1/jobs.
+type JobSpec struct {
+	// Graph is the registry id returned by POST /v1/graphs.
+	Graph string `json:"graph"`
+	// Mode is "count" (default) or "list". List jobs record up to Limit
+	// triangles in the job result; count jobs only meter.
+	Mode string `json:"mode,omitempty"`
+	// Method is one of the 18 listing methods, default "T1".
+	Method string `json:"method,omitempty"`
+	// Order is a relabeling order name or "auto" (default): the
+	// paper-optimal order for the method.
+	Order string `json:"order,omitempty"`
+	// Seed feeds the uniform order's RNG; other orders ignore it.
+	Seed uint64 `json:"seed,omitempty"`
+	// Workers parallelizes the sweep (0 = serial). Capped at GOMAXPROCS.
+	Workers int `json:"workers,omitempty"`
+	// Limit bounds the triangles recorded by a list job (default and cap
+	// come from the server options). The sweep stops once reached and
+	// the job reports truncated=true.
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS bounds the job end to end — the clock starts when the
+	// job is accepted, so time spent queued counts. 0 = no limit.
+	TimeoutMS float64 `json:"timeout_ms,omitempty"`
+	// Wait makes POST /v1/jobs block until the job finishes and return
+	// the final state instead of 202.
+	Wait bool `json:"wait,omitempty"`
+}
+
+// Job is one queued or executing listing request.
+type Job struct {
+	id     string
+	spec   JobSpec
+	method listing.Method
+	kind   order.Kind
+	list   bool
+	limit  int
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	done   chan struct{}
+
+	mu        sync.Mutex
+	status    JobStatus
+	errMsg    string
+	stats     listing.Stats
+	maxOutDeg int64
+	truncated bool
+	limitHit  bool
+	cacheHit  bool
+	triangles [][3]int32
+	queuedAt  time.Time
+	startedAt time.Time
+	endedAt   time.Time
+}
+
+// JobView is the JSON rendering of a job (GET /v1/jobs/{id}).
+type JobView struct {
+	ID       string `json:"id"`
+	Status   string `json:"status"`
+	Graph    string `json:"graph"`
+	Mode     string `json:"mode"`
+	Method   string `json:"method"`
+	Order    string `json:"order"`
+	Workers  int    `json:"workers"`
+	Limit    int    `json:"limit,omitempty"`
+	Error    string `json:"error,omitempty"`
+	CacheHit bool   `json:"cache_hit"`
+	// Truncated marks a list job whose sweep was stopped at Limit.
+	Truncated bool `json:"truncated,omitempty"`
+	// Triangles is the number found; on cancelled jobs it is the partial
+	// count accumulated before the stop.
+	Triangles int64 `json:"triangles"`
+	ModelOps  int64 `json:"model_ops"`
+	MaxOutDeg int64 `json:"max_out_degree,omitempty"`
+	// TriangleList carries up to Limit triangles (list mode only) as
+	// [x, y, z] triples in relabeled IDs.
+	TriangleList [][3]int32 `json:"triangle_list,omitempty"`
+	QueueMS      float64    `json:"queue_ms"`
+	ListMS       float64    `json:"list_ms"`
+}
+
+// View snapshots the job state for JSON rendering.
+func (j *Job) View() JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:        j.id,
+		Status:    string(j.status),
+		Graph:     j.spec.Graph,
+		Mode:      map[bool]string{true: "list", false: "count"}[j.list],
+		Method:    j.method.String(),
+		Order:     j.kind.String(),
+		Workers:   j.spec.Workers,
+		Error:     j.errMsg,
+		CacheHit:  j.cacheHit,
+		Truncated: j.truncated,
+		Triangles: j.stats.Triangles,
+		ModelOps:  j.stats.ModelOps(),
+		MaxOutDeg: j.maxOutDeg,
+	}
+	if j.list {
+		v.Limit = j.limit
+		// Copy: the sweep may still be appending to j.triangles.
+		v.TriangleList = append([][3]int32(nil), j.triangles...)
+	}
+	if !j.startedAt.IsZero() {
+		v.QueueMS = float64(j.startedAt.Sub(j.queuedAt)) / float64(time.Millisecond)
+		if !j.endedAt.IsZero() {
+			v.ListMS = float64(j.endedAt.Sub(j.startedAt)) / float64(time.Millisecond)
+		}
+	}
+	return v
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Cancel requests cooperative cancellation. Queued jobs are cancelled
+// before their sweep starts; running jobs stop at the next checkpoint.
+func (j *Job) Cancel() { j.cancel() }
+
+// Manager owns the bounded job queue and the worker pool draining it.
+type Manager struct {
+	reg  *Registry
+	m    *serverMetrics
+	opts Options
+
+	mu       sync.Mutex
+	draining bool
+	closed   bool
+	jobs     map[string]*Job
+	queue    chan *Job
+	seq      int64
+	wg       sync.WaitGroup
+}
+
+// testHookJobStart, when non-nil, runs at the top of every job
+// execution — test plumbing for deterministic in-flight states.
+var testHookJobStart func(*Job)
+
+// NewManager starts opts.Workers goroutines draining a queue of depth
+// opts.QueueDepth.
+func NewManager(opts Options, reg *Registry, m *serverMetrics) *Manager {
+	mgr := &Manager{
+		reg:  reg,
+		m:    m,
+		opts: opts,
+		jobs: make(map[string]*Job),
+		queue: make(chan *Job, opts.QueueDepth),
+	}
+	for i := 0; i < opts.Workers; i++ {
+		mgr.wg.Add(1)
+		go func() {
+			defer mgr.wg.Done()
+			for j := range mgr.queue {
+				mgr.runJob(j)
+			}
+		}()
+	}
+	return mgr
+}
+
+// parseMethod resolves a method name (case-insensitive), default T1.
+func parseMethod(s string) (listing.Method, error) {
+	if s == "" {
+		return listing.T1, nil
+	}
+	for _, m := range listing.Methods {
+		if strings.EqualFold(m.String(), s) {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown method %q (want T1-T6, E1-E6, L1-L6)", s)
+}
+
+// parseOrder resolves an order name; "auto" (and "") pick the
+// paper-optimal order for the method.
+func parseOrder(s string, m listing.Method) (order.Kind, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return core.Recommended(m), nil
+	case "ascending", "asc", "a":
+		return order.KindAscending, nil
+	case "descending", "desc", "d":
+		return order.KindDescending, nil
+	case "round-robin", "roundrobin", "rr":
+		return order.KindRoundRobin, nil
+	case "crr", "complementary-round-robin":
+		return order.KindCRR, nil
+	case "uniform", "random", "u":
+		return order.KindUniform, nil
+	case "degenerate", "degen", "smallest-last":
+		return order.KindDegenerate, nil
+	default:
+		return 0, fmt.Errorf("unknown order %q", s)
+	}
+}
+
+// Enqueue validates the spec and admits the job to the bounded queue.
+// Returns ErrDraining during shutdown and ErrQueueFull at capacity.
+func (mgr *Manager) Enqueue(spec JobSpec) (*Job, error) {
+	method, err := parseMethod(spec.Method)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := parseOrder(spec.Order, method)
+	if err != nil {
+		return nil, err
+	}
+	var isList bool
+	switch spec.Mode {
+	case "", "count":
+		isList = false
+	case "list":
+		isList = true
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want count or list)", spec.Mode)
+	}
+	if spec.TimeoutMS < 0 {
+		return nil, fmt.Errorf("negative timeout_ms %v", spec.TimeoutMS)
+	}
+	if spec.Workers < 0 {
+		return nil, fmt.Errorf("negative workers %d", spec.Workers)
+	}
+	if spec.Workers > runtime.GOMAXPROCS(0) {
+		spec.Workers = runtime.GOMAXPROCS(0)
+	}
+	limit := spec.Limit
+	if limit <= 0 {
+		limit = mgr.opts.DefaultListLimit
+	}
+	if limit > mgr.opts.MaxListLimit {
+		limit = mgr.opts.MaxListLimit
+	}
+	if _, ok := mgr.reg.Get(spec.Graph); !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, spec.Graph)
+	}
+
+	ctx := context.Background()
+	var cancel context.CancelFunc
+	if spec.TimeoutMS > 0 {
+		// The deadline covers queue wait: a client-bounded job must not
+		// dodge its budget by sitting in a backed-up queue.
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(spec.TimeoutMS*float64(time.Millisecond)))
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	if mgr.draining {
+		cancel()
+		if mgr.m != nil {
+			mgr.m.jobsRejected.Inc()
+		}
+		return nil, ErrDraining
+	}
+	mgr.seq++
+	j := &Job{
+		id:       fmt.Sprintf("job-%d", mgr.seq),
+		spec:     spec,
+		method:   method,
+		kind:     kind,
+		list:     isList,
+		limit:    limit,
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		status:   JobQueued,
+		queuedAt: time.Now(),
+	}
+	select {
+	case mgr.queue <- j:
+	default:
+		cancel()
+		if mgr.m != nil {
+			mgr.m.jobsRejected.Inc()
+		}
+		return nil, ErrQueueFull
+	}
+	mgr.jobs[j.id] = j
+	if mgr.m != nil {
+		mgr.m.jobsQueued.Inc()
+	}
+	return j, nil
+}
+
+// Get returns a job by id.
+func (mgr *Manager) Get(id string) (*Job, bool) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	j, ok := mgr.jobs[id]
+	return j, ok
+}
+
+// Counts reports (queued, running) jobs for /healthz.
+func (mgr *Manager) Counts() (queued, running int) {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	for _, j := range mgr.jobs {
+		j.mu.Lock()
+		switch j.status {
+		case JobQueued:
+			queued++
+		case JobRunning:
+			running++
+		}
+		j.mu.Unlock()
+	}
+	return queued, running
+}
+
+// runJob executes one job end to end: resolve the orientation through
+// the registry (the cache-amortized step), run the cancellable sweep,
+// and finalize status + metrics.
+func (mgr *Manager) runJob(j *Job) {
+	defer close(j.done)
+	defer j.cancel() // release the timeout timer
+
+	j.mu.Lock()
+	j.status = JobRunning
+	j.startedAt = time.Now()
+	j.mu.Unlock()
+	if mgr.m != nil {
+		mgr.m.jobsQueued.Dec()
+		mgr.m.jobsStarted.Inc()
+		mgr.m.jobsInflight.Inc()
+		defer mgr.m.jobsInflight.Dec()
+	}
+	if testHookJobStart != nil {
+		testHookJobStart(j)
+	}
+
+	// A job cancelled (or timed out) while queued never touches the
+	// registry or the sweep.
+	if err := j.ctx.Err(); err != nil {
+		mgr.finalize(j, listing.Stats{Method: j.method}, 0, err)
+		return
+	}
+
+	o, hit, err := mgr.reg.Oriented(j.spec.Graph, j.kind, j.spec.Seed)
+	if err != nil {
+		mgr.fail(j, err)
+		return
+	}
+	j.mu.Lock()
+	j.cacheHit = hit
+	j.mu.Unlock()
+
+	var visit listing.Visitor
+	if j.list {
+		// Record up to limit triangles; the sweep is cancelled once the
+		// quota fills, so a "first k triangles" query on a billion-
+		// triangle graph costs a prefix of the sweep, not all of it.
+		// j.mu also guards the slice against concurrent GET snapshots.
+		visit = func(x, y, z int32) {
+			j.mu.Lock()
+			defer j.mu.Unlock()
+			if len(j.triangles) < j.limit {
+				j.triangles = append(j.triangles, [3]int32{x, y, z})
+				if len(j.triangles) == j.limit {
+					j.limitHit = true
+					j.cancel()
+				}
+			}
+		}
+	}
+	start := time.Now()
+	st, runErr := listing.RunParallelCtx(j.ctx, o, j.method, j.spec.Workers, visit)
+	mgr.finalize(j, st, o.MaxOutDeg(), runErr)
+	if mgr.m != nil {
+		mgr.m.jobDuration.With(j.method.String()).Observe(time.Since(start).Seconds())
+		mgr.m.trianglesListed.Add(st.Triangles)
+	}
+}
+
+// finalize records the sweep outcome. A limit-stopped list job is done
+// (truncated), not cancelled: the client got exactly what it asked for.
+func (mgr *Manager) finalize(j *Job, st listing.Stats, maxOut int64, runErr error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.stats = st
+	j.maxOutDeg = maxOut
+	j.endedAt = time.Now()
+	switch {
+	case runErr == nil, j.limitHit:
+		// Quota-filled list jobs are done+truncated even when the sweep
+		// finished before a cancellation checkpoint noticed the cancel
+		// (small graphs fit in one block).
+		j.status = JobDone
+		j.truncated = j.limitHit
+	default:
+		j.status = JobCancelled
+		if errors.Is(runErr, context.DeadlineExceeded) {
+			j.errMsg = "deadline exceeded"
+		} else {
+			j.errMsg = "cancelled"
+		}
+	}
+	if mgr.m != nil {
+		if j.status == JobCancelled {
+			mgr.m.jobsCancelled.Inc()
+		} else {
+			mgr.m.jobsCompleted.Inc()
+		}
+	}
+}
+
+func (mgr *Manager) fail(j *Job, err error) {
+	j.mu.Lock()
+	j.status = JobFailed
+	j.errMsg = err.Error()
+	j.endedAt = time.Now()
+	j.mu.Unlock()
+	if mgr.m != nil {
+		mgr.m.jobsFailed.Inc()
+	}
+}
+
+// Shutdown stops admissions, drains queued and in-flight jobs, and
+// returns once the pool is idle. If ctx expires first, all remaining
+// jobs are cancelled (their sweeps stop at the next checkpoint) and
+// Shutdown waits for the pool to observe that before returning ctx's
+// error.
+func (mgr *Manager) Shutdown(ctx context.Context) error {
+	mgr.mu.Lock()
+	mgr.draining = true
+	if !mgr.closed {
+		mgr.closed = true
+		close(mgr.queue)
+	}
+	mgr.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		mgr.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		return nil
+	case <-ctx.Done():
+	}
+	mgr.mu.Lock()
+	for _, j := range mgr.jobs {
+		j.cancel()
+	}
+	mgr.mu.Unlock()
+	<-idle
+	return ctx.Err()
+}
+
+// Draining reports whether shutdown has begun.
+func (mgr *Manager) Draining() bool {
+	mgr.mu.Lock()
+	defer mgr.mu.Unlock()
+	return mgr.draining
+}

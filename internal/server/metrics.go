@@ -1,0 +1,56 @@
+package server
+
+import "trilist/internal/metrics"
+
+// serverMetrics bundles every meter the daemon exposes on /metrics.
+// All names carry the trid_ prefix so a shared Prometheus can scrape
+// several services without collisions.
+type serverMetrics struct {
+	registry *metrics.Registry
+
+	jobsStarted   *metrics.Counter
+	jobsCompleted *metrics.Counter
+	jobsCancelled *metrics.Counter
+	jobsFailed    *metrics.Counter
+	jobsRejected  *metrics.Counter
+	jobsInflight  *metrics.Gauge
+	jobsQueued    *metrics.Gauge
+
+	trianglesListed *metrics.Counter
+	jobDuration     *metrics.HistogramVec // labeled by listing method
+
+	cacheHits      *metrics.Counter
+	cacheMisses    *metrics.Counter
+	cacheEvictions *metrics.Counter
+	cacheBytes     *metrics.Gauge
+	graphsResident *metrics.Gauge
+
+	graphsRegistered *metrics.Counter
+}
+
+func newServerMetrics() *serverMetrics {
+	r := metrics.NewRegistry()
+	return &serverMetrics{
+		registry: r,
+
+		jobsStarted:   r.NewCounter("trid_jobs_started_total", "Jobs whose sweep began executing."),
+		jobsCompleted: r.NewCounter("trid_jobs_completed_total", "Jobs that ran to completion."),
+		jobsCancelled: r.NewCounter("trid_jobs_cancelled_total", "Jobs stopped by timeout or explicit cancel."),
+		jobsFailed:    r.NewCounter("trid_jobs_failed_total", "Jobs that errored before or during the sweep."),
+		jobsRejected:  r.NewCounter("trid_jobs_rejected_total", "Job submissions refused (queue full or draining)."),
+		jobsInflight:  r.NewGauge("trid_jobs_inflight", "Jobs currently executing."),
+		jobsQueued:    r.NewGauge("trid_jobs_queued", "Jobs waiting in the queue."),
+
+		trianglesListed: r.NewCounter("trid_triangles_listed_total", "Triangles reported across all jobs (partial sweeps included)."),
+		jobDuration: r.NewHistogramVec("trid_job_duration_seconds",
+			"Wall-clock sweep duration per listing method.", "method", metrics.DefBuckets),
+
+		cacheHits:      r.NewCounter("trid_graph_cache_hits_total", "Registry lookups served from a resident orientation."),
+		cacheMisses:    r.NewCounter("trid_graph_cache_misses_total", "Registry lookups that had to relabel and orient."),
+		cacheEvictions: r.NewCounter("trid_graph_cache_evictions_total", "Graphs evicted to stay under the byte budget."),
+		cacheBytes:     r.NewGauge("trid_graph_cache_bytes", "Bytes of resident graphs and orientations."),
+		graphsResident: r.NewGauge("trid_graphs_resident", "Graphs currently resident in the registry."),
+
+		graphsRegistered: r.NewCounter("trid_graphs_registered_total", "Accepted POST /v1/graphs requests (including re-registrations)."),
+	}
+}
