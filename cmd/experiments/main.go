@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"trilist/internal/experiments"
+	"trilist/internal/listing"
 )
 
 func main() {
@@ -37,7 +38,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	table := fs.String("table", "all", "table to regenerate: 3, 5, 6, 7, 8, 9, 10, 11, 12, scaling, or all")
+	table := fs.String("table", "all", "table to regenerate: 3, 5, 6, 7, 8, 9, 10, 11, 12, scaling, kernels, or all")
 	scale := fs.String("scale", "default", "protocol scale: default or paper")
 	sizes := fs.String("sizes", "", "comma-separated graph sizes (overrides scale)")
 	seqs := fs.Int("seqs", 0, "degree sequences per point (overrides scale)")
@@ -47,6 +48,8 @@ func run(args []string, w io.Writer) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"goroutines running Monte-Carlo trials; output is identical for any value")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
+	kernels := fs.String("kernel", "merge,gallop,bitmap,auto",
+		"comma-separated intersection kernels for -table kernels")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -200,6 +203,36 @@ func run(args []string, w io.Writer) error {
 		fmt.Fprintln(w, experiments.FormatScaling(1.2, rows))
 		if err := writeCSV("scaling.csv", func(f io.Writer) error {
 			return experiments.WriteScalingCSV(f, rows)
+		}); err != nil {
+			return err
+		}
+	}
+	if *table == "kernels" {
+		// Wall-clock kernel ablation; opt-in only (not part of "all",
+		// which stays purely analytical and machine-independent).
+		ran = true
+		kcfg := experiments.KernelConfig{Seed: cfg.Seed}
+		for _, s := range strings.Split(*kernels, ",") {
+			k, err := listing.ParseKernel(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			kcfg.Kernels = append(kcfg.Kernels, k)
+		}
+		t0 := time.Now()
+		rows, err := experiments.TableKernels(kcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatKernels(rows))
+		fmt.Fprintf(w, "(computed in %v)\n", time.Since(t0).Round(time.Millisecond))
+		if err := writeCSV("kernels.csv", func(f io.Writer) error {
+			return experiments.WriteKernelsCSV(f, rows)
+		}); err != nil {
+			return err
+		}
+		if err := writeCSV("BENCH_kernels.json", func(f io.Writer) error {
+			return experiments.WriteKernelsJSON(f, rows)
 		}); err != nil {
 			return err
 		}

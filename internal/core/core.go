@@ -41,6 +41,12 @@ type Config struct {
 	// goroutines (the visitor must then be concurrency-safe); 0 or 1
 	// runs serially. Results are identical either way.
 	Workers int
+	// Kernel selects the neighbor-intersection strategy for the sweep
+	// (listing.KernelMerge, KernelGallop, KernelBitmap, KernelAuto).
+	// The zero value is KernelMerge, the historical behavior; every
+	// kernel returns the same triangles and bitwise-identical Stats,
+	// differing only in wall-clock speed.
+	Kernel listing.Kernel
 }
 
 // Recommended returns the paper-optimal order for the method
@@ -124,9 +130,9 @@ func ListOriented(ctx context.Context, o *digraph.Oriented, cfg Config, visit li
 	var st listing.Stats
 	var runErr error
 	if cfg.Workers > 1 {
-		st, runErr = listing.RunParallelCtx(ctx, o, cfg.Method, cfg.Workers, visit)
+		st, runErr = listing.RunParallelCtx(ctx, o, cfg.Method, cfg.Workers, visit, listing.WithKernel(cfg.Kernel))
 	} else {
-		st, runErr = listing.RunCtx(ctx, o, cfg.Method, visit)
+		st, runErr = listing.RunCtx(ctx, o, cfg.Method, visit, listing.WithKernel(cfg.Kernel))
 	}
 	t2 := time.Now()
 	return Result{

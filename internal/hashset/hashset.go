@@ -117,10 +117,10 @@ type NodeSet struct {
 
 // NewNodeSet returns a set pre-sized for at least capacity nodes.
 func NewNodeSet(capacity int) *NodeSet {
-	n := 8
-	for n < capacity*2 {
-		n <<= 1
+	if capacity < 0 {
+		panic(fmt.Sprintf("hashset: negative capacity %d", capacity))
 	}
+	n := tableSize(capacity)
 	s := &NodeSet{keys: make([]int32, n), mask: uint32(n - 1)}
 	for i := range s.keys {
 		s.keys[i] = -1
@@ -128,13 +128,26 @@ func NewNodeSet(capacity int) *NodeSet {
 	return s
 }
 
-// Reset clears the set, retaining capacity sized for at least capacity.
-func (s *NodeSet) Reset(capacity int) {
-	need := 8
-	for need < capacity*2 {
-		need <<= 1
+// tableSize returns the power-of-two table length holding capacity
+// entries at load factor <= 1/2, never below the minimum of 8.
+func tableSize(capacity int) int {
+	n := 8
+	for n < capacity*2 {
+		n <<= 1
 	}
-	if need > len(s.keys) {
+	return n
+}
+
+// Reset clears the set and sizes it for at least capacity entries.
+// A table far larger than needed (>= 4x) is reallocated at the right
+// size rather than wiped: one huge fill must not make every later
+// Reset pay for clearing the high-water-mark array.
+func (s *NodeSet) Reset(capacity int) {
+	if capacity < 0 {
+		panic(fmt.Sprintf("hashset: negative capacity %d", capacity))
+	}
+	need := tableSize(capacity)
+	if need > len(s.keys) || need*4 <= len(s.keys) {
 		s.keys = make([]int32, need)
 		s.mask = uint32(need - 1)
 	}

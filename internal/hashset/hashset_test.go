@@ -124,6 +124,149 @@ func TestNodeSetReset(t *testing.T) {
 	}
 }
 
+func TestEmptySets(t *testing.T) {
+	// Freshly built and freshly reset sets must answer every query
+	// negatively without touching the grow path.
+	cases := []struct {
+		name string
+		set  func() interface {
+			len() int
+			has(int32) bool
+		}
+	}{
+		{"edge-new", func() interface {
+			len() int
+			has(int32) bool
+		} {
+			s := New(0)
+			return probeEdge{s}
+		}},
+		{"node-new", func() interface {
+			len() int
+			has(int32) bool
+		} {
+			return probeNode{NewNodeSet(0)}
+		}},
+		{"node-reset", func() interface {
+			len() int
+			has(int32) bool
+		} {
+			s := NewNodeSet(8)
+			s.Add(3)
+			s.Reset(0)
+			return probeNode{s}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := c.set()
+			if s.len() != 0 {
+				t.Fatalf("Len = %d, want 0", s.len())
+			}
+			for _, v := range []int32{0, 1, 3, 1 << 20} {
+				if s.has(v) {
+					t.Fatalf("empty set contains %d", v)
+				}
+			}
+		})
+	}
+}
+
+type probeEdge struct{ s *EdgeSet }
+
+func (p probeEdge) len() int         { return p.s.Len() }
+func (p probeEdge) has(v int32) bool { return p.s.Contains(v, v+1) }
+
+type probeNode struct{ s *NodeSet }
+
+func (p probeNode) len() int         { return p.s.Len() }
+func (p probeNode) has(v int32) bool { return p.s.Contains(v) }
+
+func TestDuplicateInsertAcrossGrowth(t *testing.T) {
+	// Duplicates must stay deduplicated even when re-inserted around the
+	// grow boundary (size*2 == len(keys) triggers grow mid-stream).
+	cases := []struct {
+		name string
+		n    int32
+	}{
+		{"below-min-table", 3},
+		{"exactly-load-limit", 4},
+		{"several-grows", 1000},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			ns := NewNodeSet(0)
+			es := New(0)
+			for round := 0; round < 3; round++ {
+				for i := int32(0); i < c.n; i++ {
+					ns.Add(i)
+					es.Add(i+1, i)
+				}
+			}
+			if ns.Len() != int(c.n) || es.Len() != int(c.n) {
+				t.Fatalf("Len = (%d, %d), want %d after duplicate rounds", ns.Len(), es.Len(), c.n)
+			}
+			for i := int32(0); i < c.n; i++ {
+				if !ns.Contains(i) || !es.Contains(i+1, i) {
+					t.Fatalf("lost %d after duplicate rounds", i)
+				}
+			}
+		})
+	}
+}
+
+func TestNegativeCapacityPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		call func()
+	}{
+		{"New", func() { New(-1) }},
+		{"NewNodeSet", func() { NewNodeSet(-3) }},
+		{"Reset", func() { NewNodeSet(4).Reset(-1) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s with negative capacity did not panic", c.name)
+				}
+			}()
+			c.call()
+		})
+	}
+}
+
+func TestNodeSetResetShrinks(t *testing.T) {
+	// One huge fill must not condemn every later Reset to clearing the
+	// high-water-mark array: resetting to a small capacity reallocates.
+	s := NewNodeSet(1 << 16)
+	big := len(s.keys)
+	for i := int32(0); i < 1<<16; i++ {
+		s.Add(i)
+	}
+	s.Reset(4)
+	if len(s.keys) >= big {
+		t.Fatalf("Reset(4) kept the %d-slot table", big)
+	}
+	if s.Len() != 0 || s.Contains(1) {
+		t.Fatal("shrunk set not empty")
+	}
+	// Modest oversizing (< 4x) keeps the table to avoid realloc churn.
+	s.Reset(64)
+	kept := len(s.keys)
+	s.Reset(32)
+	if len(s.keys) != kept {
+		t.Fatalf("Reset(32) reallocated a %d-slot table only 2x oversized", kept)
+	}
+	// And it still works as a set afterwards.
+	for i := int32(0); i < 32; i++ {
+		s.Add(i)
+	}
+	if s.Len() != 32 || !s.Contains(31) {
+		t.Fatal("set broken after shrink cycle")
+	}
+}
+
 func TestNodeSetGrowth(t *testing.T) {
 	s := NewNodeSet(0)
 	for i := int32(0); i < 5000; i++ {

@@ -19,21 +19,63 @@ import (
 // while bounding cancellation latency to one block of inner-loop work.
 const cancelBlock = 512
 
-// kernel returns the anchor-range sweep for m plus the number of global
-// hash insertions paid up front (the vertex iterators build the arc set
-// once; SEI and LEI build nothing global before the sweep).
-func kernel(o *digraph.Oriented, m Method, visit Visitor) (func(lo, hi int32, s *Stats), int64) {
+// Option configures a listing run (Run, RunCtx, RunParallel,
+// RunParallelCtx). Omitting all options reproduces the historical
+// behavior exactly.
+type Option func(*runConfig)
+
+type runConfig struct {
+	kernel Kernel
+}
+
+// WithKernel selects the intersection kernel for the run. The default
+// is KernelMerge, the historical strategy; every kernel produces the
+// same triangles in the same order and bitwise-identical Stats.
+func WithKernel(k Kernel) Option {
+	return func(c *runConfig) { c.kernel = k }
+}
+
+func applyOptions(opts []Option) runConfig {
+	var cfg runConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// methodSweep returns a per-worker sweep factory for m plus the number
+// of global hash insertions paid up front (the vertex iterators build
+// the arc set once; SEI and LEI build nothing global before the sweep).
+// Each newWorker() call allocates that worker's private scratch — the
+// SEI kernel engine or the LEI membership set — so parallel workers
+// never share mutable state; release returns pooled scratch when the
+// worker retires.
+func methodSweep(o *digraph.Oriented, m Method, visit Visitor, kern Kernel) (newWorker func() (run func(lo, hi int32, s *Stats), release func()), hashBuild int64) {
 	if m < 0 || m >= numMethods {
 		panic(fmt.Sprintf("listing: unknown method %d", int(m)))
 	}
+	if kern < 0 || kern >= numKernels {
+		panic(fmt.Sprintf("listing: unknown kernel %d", int(kern)))
+	}
+	n := o.NumNodes()
 	switch m.Family() {
 	case VertexIterator:
+		// Hash-table probes, no list intersection: the kernel choice is
+		// a no-op for T1–T6.
 		set := o.ArcSet()
-		return func(lo, hi int32, s *Stats) { runVertex(o, m, set, visit, s, lo, hi) }, int64(set.Len())
+		return func() (func(lo, hi int32, s *Stats), func()) {
+			return func(lo, hi int32, s *Stats) { runVertex(o, m, set, visit, s, lo, hi) }, func() {}
+		}, int64(set.Len())
 	case ScanningEdgeIterator:
-		return func(lo, hi int32, s *Stats) { runSEI(o, m, visit, s, lo, hi) }, 0
+		return func() (func(lo, hi int32, s *Stats), func()) {
+			it := newIntersector(kern, n)
+			return func(lo, hi int32, s *Stats) { runSEI(o, m, it, visit, s, lo, hi) }, it.release
+		}, 0
 	default:
-		return func(lo, hi int32, s *Stats) { runLEI(o, m, visit, s, lo, hi) }, 0
+		return func() (func(lo, hi int32, s *Stats), func()) {
+			ms := newMemberSet(kern, n)
+			return func(lo, hi int32, s *Stats) { runLEI(o, m, ms, visit, s, lo, hi) }, ms.release
+		}, 0
 	}
 }
 
@@ -43,7 +85,8 @@ func kernel(o *digraph.Oriented, m Method, visit Visitor) (func(lo, hi int32, s 
 // ctx.Err(). An uncancelled run returns Stats bitwise identical to
 // Run's and a nil error. Triangles reported before cancellation were
 // delivered to the visitor exactly once; none are reported afterwards.
-func RunCtx(ctx context.Context, o *digraph.Oriented, m Method, visit Visitor) (Stats, error) {
+func RunCtx(ctx context.Context, o *digraph.Oriented, m Method, visit Visitor, opts ...Option) (Stats, error) {
+	cfg := applyOptions(opts)
 	if visit == nil {
 		visit = func(x, y, z int32) {}
 	}
@@ -51,8 +94,10 @@ func RunCtx(ctx context.Context, o *digraph.Oriented, m Method, visit Visitor) (
 	if err := ctx.Err(); err != nil {
 		return s, err
 	}
-	run, hashBuild := kernel(o, m, visit)
+	newWorker, hashBuild := methodSweep(o, m, visit, cfg.kernel)
 	s.HashBuild = hashBuild
+	run, release := newWorker()
+	defer release()
 	n := int32(o.NumNodes())
 	for lo := int32(0); lo < n; lo += cancelBlock {
 		if err := ctx.Err(); err != nil {
@@ -71,7 +116,8 @@ func RunCtx(ctx context.Context, o *digraph.Oriented, m Method, visit Visitor) (
 // worker polls ctx before claiming its next anchor block and stops once
 // ctx is done. The merged partial Stats and ctx.Err() are returned; an
 // uncancelled run returns exactly RunParallel's Stats and a nil error.
-func RunParallelCtx(ctx context.Context, o *digraph.Oriented, m Method, workers int, visit Visitor) (Stats, error) {
+func RunParallelCtx(ctx context.Context, o *digraph.Oriented, m Method, workers int, visit Visitor, opts ...Option) (Stats, error) {
+	cfg := applyOptions(opts)
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -80,7 +126,7 @@ func RunParallelCtx(ctx context.Context, o *digraph.Oriented, m Method, workers 
 		workers = int(n)
 	}
 	if workers <= 1 {
-		return RunCtx(ctx, o, m, visit)
+		return RunCtx(ctx, o, m, visit, opts...)
 	}
 	if visit == nil {
 		visit = func(x, y, z int32) {}
@@ -88,7 +134,7 @@ func RunParallelCtx(ctx context.Context, o *digraph.Oriented, m Method, workers 
 	if err := ctx.Err(); err != nil {
 		return Stats{Method: m}, err
 	}
-	run, hashBuild := kernel(o, m, visit)
+	newWorker, hashBuild := methodSweep(o, m, visit, cfg.kernel)
 
 	// Interleaved blocks: worker w takes blocks w, w+workers, w+2·workers…
 	// so the heavy labels (which cluster at one end under θ_A/θ_D) spread
@@ -101,6 +147,8 @@ func RunParallelCtx(ctx context.Context, o *digraph.Oriented, m Method, workers 
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			run, release := newWorker()
+			defer release()
 			s := &parts[w]
 			s.Method = m
 			for b := w; b < numBlocks; b += workers {

@@ -1,0 +1,366 @@
+package listing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"trilist/internal/hashset"
+)
+
+// Kernel selects the neighbor-intersection strategy used by the
+// scanning edge iterators (E1–E6) and the membership structure used by
+// the lookup edge iterators (L1–L6). The paper prices every method in
+// elementary operations over sorted adjacency lists; a kernel changes
+// how those operations are executed on real hardware, never how many
+// the model charges — Stats is bitwise identical under every kernel
+// (the fast kernels report the merge-equivalent Comparisons count in
+// closed form, see mergeComps), so the analytical tables are untouched
+// while wall-clock drops on skewed inputs.
+//
+// Vertex iterators (T1–T6) probe a global arc hash table and perform no
+// list intersection, so the kernel choice does not affect them.
+type Kernel int
+
+const (
+	// KernelMerge is the classic two-pointer merge scan — the repo's
+	// historical single strategy and the zero value, so existing callers
+	// keep today's behavior. O(|a| + |b|) per pair, fully sequential.
+	KernelMerge Kernel = iota
+	// KernelGallop iterates the shorter list and locates each element in
+	// the longer one by exponential (galloping) search —
+	// O(min·log(max/min)) per pair, the winner when lists are skewed.
+	KernelGallop
+	// KernelBitmap stamps the anchor's base adjacency list into a
+	// per-worker position arena once per anchor, then answers each
+	// window intersection by probing the remote list's elements in O(1)
+	// each — O(|remote|) per pair after an O(d) amortized stamp.
+	KernelBitmap
+	// KernelAuto picks per pair by length ratio. The anchor's stamp is
+	// paid once per anchor and amortizes to O(1) per window (an anchor
+	// with degree d performs ~d window intersections against an O(d)
+	// stamp), after which a probe costs O(|remote|) — never worse than
+	// the merge's O(|window|+|remote|). Auto therefore stamp-probes by
+	// default and switches to galloping only when the window is much
+	// shorter than the remote list, where O(|window|·log|remote|) beats
+	// scanning the remote. This adaptivity is what dominates any fixed
+	// strategy on power-law graphs.
+	KernelAuto
+
+	numKernels
+)
+
+// Kernels lists all kernels in declaration order.
+var Kernels = []Kernel{KernelMerge, KernelGallop, KernelBitmap, KernelAuto}
+
+func (k Kernel) String() string {
+	switch k {
+	case KernelMerge:
+		return "merge"
+	case KernelGallop:
+		return "gallop"
+	case KernelBitmap:
+		return "bitmap"
+	case KernelAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Kernel(%d)", int(k))
+	}
+}
+
+// ParseKernel resolves a kernel name (case-insensitive). The empty
+// string resolves to KernelAuto: user-facing surfaces (CLIs, the trid
+// job API) default to the adaptive kernel, which is safe because every
+// kernel produces identical triangles and Stats.
+func ParseKernel(s string) (Kernel, error) {
+	switch strings.ToLower(s) {
+	case "", "auto":
+		return KernelAuto, nil
+	case "merge", "scan":
+		return KernelMerge, nil
+	case "gallop", "galloping", "binary":
+		return KernelGallop, nil
+	case "bitmap", "stamp":
+		return KernelBitmap, nil
+	default:
+		return 0, fmt.Errorf("unknown kernel %q (want merge, gallop, bitmap, or auto)", s)
+	}
+}
+
+// skewRatio is the length ratio beyond which KernelAuto abandons the
+// stamp-probe for galloping: once the remote list is this many times
+// longer than the local window, |window|·log|remote| probes beat the
+// O(|remote|) scan. 8 keeps the crossover conservative: at ratio 8
+// galloping does at most a handful of probes per window element.
+const skewRatio = 8
+
+// arena is per-worker scratch for the bitmap kernel: for each node of
+// the currently stamped base list it records the node's index in that
+// list, validated by an epoch so re-stamping is O(|base|) with no
+// clearing. One arena serves both SEI window probes (which need the
+// position) and LEI membership tests (which only need the epoch).
+type arena struct {
+	pos   []int32  // pos[v] = index of v in the stamped base list
+	epoch []uint32 // epoch[v] == cur ⇔ v is in the stamped base list
+	cur   uint32
+}
+
+// arenaPool recycles arenas across runs so repeated sweeps (Monte-Carlo
+// trials, benchmarks, the trid job loop) allocate no per-run scratch.
+var arenaPool sync.Pool
+
+// getArena returns an arena able to index nodes [0, n).
+func getArena(n int) *arena {
+	a, _ := arenaPool.Get().(*arena)
+	if a == nil {
+		a = &arena{}
+	}
+	a.ensure(n)
+	return a
+}
+
+func putArena(a *arena) { arenaPool.Put(a) }
+
+func (a *arena) ensure(n int) {
+	if len(a.pos) >= n {
+		return
+	}
+	a.pos = make([]int32, n)
+	a.epoch = make([]uint32, n)
+	// cur must differ from the zeroed epoch array or an unstamped arena
+	// would report every node as a member.
+	a.cur = 1
+}
+
+// stamp records base as the current list. Stale stamps from prior
+// anchors (or prior graphs, when the arena is pooled) are invalidated
+// by the epoch bump; the epoch array is cleared only on uint32 wrap.
+func (a *arena) stamp(base []int32) {
+	a.cur++
+	if a.cur == 0 {
+		clear(a.epoch)
+		a.cur = 1
+	}
+	for i, v := range base {
+		a.pos[v] = int32(i)
+		a.epoch[v] = a.cur
+	}
+}
+
+// member reports whether v is in the stamped base list.
+func (a *arena) member(v int32) bool { return a.epoch[v] == a.cur }
+
+// upperBound returns the number of elements <= v in an ascending list.
+func upperBound(list []int32, v int32) int {
+	return sort.Search(len(list), func(i int) bool { return list[i] > v })
+}
+
+// mergeComps returns, in O(log) time, the exact number of pointer
+// advances the two-pointer merge scan (intersect) performs on ascending
+// duplicate-free lists a and b containing `matches` common elements.
+// The merge stops when either list is exhausted; if a runs out first its
+// len(a) elements were all consumed along with the elements of b not
+// exceeding a's last element, and each of the `matches` common elements
+// consumed one step for two elements. This closed form is what lets the
+// galloping and bitmap kernels report Comparisons bitwise identical to
+// the merge kernel without doing the merge.
+func mergeComps(a, b []int32, matches int64) int64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	al, bl := a[len(a)-1], b[len(b)-1]
+	switch {
+	case al < bl:
+		return int64(len(a)+upperBound(b, al)) - matches
+	case al > bl:
+		return int64(len(b)+upperBound(a, bl)) - matches
+	default:
+		return int64(len(a)+len(b)) - matches
+	}
+}
+
+// gallopSearch returns the smallest index i in [lo, len(list)] with
+// list[i] >= v, by exponential probing from lo followed by binary
+// search over the final bracket. Starting from the previous match
+// position makes a full gallop-intersection O(min·log(max/min)).
+func gallopSearch(list []int32, lo int, v int32) int {
+	if lo >= len(list) || list[lo] >= v {
+		return lo
+	}
+	// Invariant: list[lo] < v. Double the step until it overshoots.
+	step := 1
+	hi := lo + 1
+	for hi < len(list) && list[hi] < v {
+		lo = hi
+		step <<= 1
+		hi = lo + step
+	}
+	if hi > len(list) {
+		hi = len(list)
+	}
+	// Binary search in (lo, hi]: list[lo] < v, list[hi] >= v (or hi = len).
+	for lo+1 < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if list[mid] < v {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return hi
+}
+
+// gallopIntersect emits the common elements of two ascending lists in
+// ascending order by galloping the shorter list's elements through the
+// longer, and returns the number of matches.
+func gallopIntersect(a, b []int32, emit func(int32)) int64 {
+	if len(a) > len(b) {
+		a, b = b, a
+	}
+	var matches int64
+	j := 0
+	for _, v := range a {
+		j = gallopSearch(b, j, v)
+		if j == len(b) {
+			break
+		}
+		if b[j] == v {
+			matches++
+			emit(v)
+			j++
+		}
+	}
+	return matches
+}
+
+// intersector is the per-worker SEI intersection engine: it carries the
+// kernel choice, the scratch arena (bitmap/auto only), and the anchor's
+// current base adjacency list, stamped lazily on first bitmap use so
+// merge- or gallop-only anchors never pay for it.
+type intersector struct {
+	kern    Kernel
+	ar      *arena
+	base    []int32
+	stamped bool
+}
+
+// newIntersector builds one worker's engine for a graph on n nodes.
+func newIntersector(kern Kernel, n int) *intersector {
+	it := &intersector{kern: kern}
+	if kern == KernelBitmap || kern == KernelAuto {
+		it.ar = getArena(n)
+	}
+	return it
+}
+
+// release returns pooled scratch; the intersector is dead afterwards.
+func (it *intersector) release() {
+	if it.ar != nil {
+		putArena(it.ar)
+		it.ar = nil
+	}
+}
+
+// setBase installs the anchor's base adjacency list. Every window
+// passed to win must be a subslice of it.
+func (it *intersector) setBase(base []int32) {
+	it.base = base
+	it.stamped = false
+}
+
+func (it *intersector) ensureStamp() {
+	if !it.stamped {
+		it.ar.stamp(it.base)
+		it.stamped = true
+	}
+}
+
+// probe intersects base[alo:ahi] with remote via the stamped arena,
+// emitting matches in ascending order (remote is ascending).
+func (it *intersector) probe(alo, ahi int, remote []int32, emit func(int32)) int64 {
+	ar := it.ar
+	var matches int64
+	for _, v := range remote {
+		if ar.epoch[v] == ar.cur {
+			if p := ar.pos[v]; p >= int32(alo) && p < int32(ahi) {
+				matches++
+				emit(v)
+			}
+		}
+	}
+	return matches
+}
+
+// win intersects the window base[alo:ahi] with remote under the
+// configured kernel, emitting each common element exactly once in
+// ascending order, and returns the merge-equivalent comparison count —
+// identical for every kernel, so Stats.Comparisons is kernel-invariant.
+func (it *intersector) win(alo, ahi int, remote []int32, emit func(int32)) int64 {
+	local := it.base[alo:ahi]
+	la, lr := len(local), len(remote)
+	if la == 0 || lr == 0 {
+		return 0
+	}
+	switch it.kern {
+	case KernelMerge:
+		return intersect(local, remote, emit)
+	case KernelGallop:
+		return mergeComps(local, remote, gallopIntersect(local, remote, emit))
+	case KernelBitmap:
+		it.ensureStamp()
+		return mergeComps(local, remote, it.probe(alo, ahi, remote, emit))
+	default: // KernelAuto: pick per pair by length ratio.
+		if la*skewRatio <= lr {
+			// Local window much shorter: galloping's la·log(lr) beats
+			// scanning the remote list.
+			return mergeComps(local, remote, gallopIntersect(local, remote, emit))
+		}
+		// Otherwise stamp-probe: the stamp amortizes to O(1) per window
+		// over the anchor's sweep, and the O(lr) probe never loses to
+		// the merge's O(la+lr).
+		it.ensureStamp()
+		return mergeComps(local, remote, it.probe(alo, ahi, remote, emit))
+	}
+}
+
+// memberSet is the per-worker LEI membership structure: the paper's
+// per-node hash set by default, or the stamp arena under the bitmap and
+// auto kernels — same probe count (Stats.Lookups and HashBuild are
+// length-determined), O(1) probes with no hashing or clearing.
+type memberSet struct {
+	hash *hashset.NodeSet // non-nil iff the arena is nil
+	ar   *arena
+}
+
+func newMemberSet(kern Kernel, n int) *memberSet {
+	if kern == KernelBitmap || kern == KernelAuto {
+		return &memberSet{ar: getArena(n)}
+	}
+	return &memberSet{hash: hashset.NewNodeSet(16)}
+}
+
+func (ms *memberSet) fill(list []int32) {
+	if ms.ar != nil {
+		ms.ar.stamp(list)
+		return
+	}
+	ms.hash.Reset(len(list))
+	for _, v := range list {
+		ms.hash.Add(v)
+	}
+}
+
+func (ms *memberSet) contains(v int32) bool {
+	if ms.ar != nil {
+		return ms.ar.member(v)
+	}
+	return ms.hash.Contains(v)
+}
+
+func (ms *memberSet) release() {
+	if ms.ar != nil {
+		putArena(ms.ar)
+		ms.ar = nil
+	}
+}

@@ -2,23 +2,22 @@ package listing
 
 import (
 	"trilist/internal/digraph"
-	"trilist/internal/hashset"
 )
 
 // runLEI executes a lookup edge iterator (§2.3): the first visited node's
-// relevant list is inserted into a per-node hash set once (Σ insertions =
-// m over the whole run), and for every directed edge each element of the
-// remote sublist probes that set. Lookup volumes follow Table 2 — exactly
-// the remote volumes of the corresponding SEI methods, which is why LEI
-// "can be reduced to vertex iterator in terms of both operation speed and
-// cost" and the paper's analysis folds it into the VI family.
-func runLEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32) {
-	set := hashset.NewNodeSet(16)
+// relevant list is inserted into a per-worker membership set once
+// (Σ insertions = m over the whole run), and for every directed edge
+// each element of the remote sublist probes that set. Lookup volumes
+// follow Table 2 — exactly the remote volumes of the corresponding SEI
+// methods, which is why LEI "can be reduced to vertex iterator in terms
+// of both operation speed and cost" and the paper's analysis folds it
+// into the VI family. The membership set is the paper's hash table by
+// default; under the bitmap/auto kernels it is the stamp arena instead,
+// which leaves HashBuild and Lookups (both length-determined) and the
+// triangle set untouched while replacing hashing with O(1) stamps.
+func runLEI(o *digraph.Oriented, m Method, ms *memberSet, visit Visitor, s *Stats, lo, hi int32) {
 	fill := func(list []int32) {
-		set.Reset(len(list))
-		for _, v := range list {
-			set.Add(v)
-		}
+		ms.fill(list)
 		s.HashBuild += int64(len(list))
 	}
 	switch m {
@@ -31,7 +30,7 @@ func runLEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32
 			for _, y := range out {
 				for _, x := range o.Out(y) {
 					s.Lookups++
-					if set.Contains(x) {
+					if ms.contains(x) {
 						s.Triangles++
 						visit(x, y, z)
 					}
@@ -46,7 +45,7 @@ func runLEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32
 			for _, z := range o.In(y) {
 				for _, x := range prefixBelow(o.Out(z), y) {
 					s.Lookups++
-					if set.Contains(x) {
+					if ms.contains(x) {
 						s.Triangles++
 						visit(x, y, z)
 					}
@@ -62,7 +61,7 @@ func runLEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32
 			for _, y := range in {
 				for _, z := range o.In(y) {
 					s.Lookups++
-					if set.Contains(z) {
+					if ms.contains(z) {
 						s.Triangles++
 						visit(x, y, z)
 					}
@@ -78,7 +77,7 @@ func runLEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32
 			for _, x := range out {
 				for _, y := range prefixBelow(o.In(x), z) {
 					s.Lookups++
-					if set.Contains(y) {
+					if ms.contains(y) {
 						s.Triangles++
 						visit(x, y, z)
 					}
@@ -93,7 +92,7 @@ func runLEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32
 			for _, x := range o.Out(y) {
 				for _, z := range suffixAbove(o.In(x), y) {
 					s.Lookups++
-					if set.Contains(z) {
+					if ms.contains(z) {
 						s.Triangles++
 						visit(x, y, z)
 					}
@@ -109,7 +108,7 @@ func runLEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32
 			for _, z := range in {
 				for _, y := range suffixAbove(o.Out(z), x) {
 					s.Lookups++
-					if set.Contains(y) {
+					if ms.contains(y) {
 						s.Triangles++
 						visit(x, y, z)
 					}

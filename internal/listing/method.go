@@ -15,6 +15,11 @@
 //   - actual operation counts — live two-pointer comparisons for SEI and
 //     hash probes for VI/LEI — which tests use to confirm that real work
 //     never exceeds the model bound.
+//
+// Orthogonally to the method, WithKernel selects how intersections are
+// executed (merge scan, galloping, bitmap stamps, or adaptive — see
+// Kernel): a kernel changes wall-clock speed on skewed lists but never
+// the triangle set, the visit order, or a single Stats meter.
 package listing
 
 import (
@@ -225,8 +230,10 @@ type Stats struct {
 	// Lookups is the LEI model cost: hash probes of the local set
 	// (Table 2).
 	Lookups int64
-	// Comparisons counts actual two-pointer advances during SEI merges;
-	// always <= LocalScan + RemoteScan.
+	// Comparisons counts the two-pointer advances of the merge-scan SEI
+	// kernel; always <= LocalScan + RemoteScan. The galloping and bitmap
+	// kernels perform fewer operations but report this same number (via
+	// a closed form, see mergeComps), keeping Stats kernel-invariant.
 	Comparisons int64
 	// HashBuild counts insertions: the global arc set for VI (= m) or the
 	// per-node local sets for LEI (= m as well, per §2.3).
@@ -248,13 +255,15 @@ func (s Stats) ModelOps() int64 {
 // Run executes method m on the oriented graph o, invoking visit (which
 // may be nil) for every triangle, and returns the run's Stats. It is
 // RunCtx with a background context: unstoppable once started; servers
-// and CLIs with deadlines use RunCtx instead.
-func Run(o *digraph.Oriented, m Method, visit Visitor) Stats {
-	s, _ := RunCtx(context.Background(), o, m, visit)
+// and CLIs with deadlines use RunCtx instead. Options select the
+// intersection kernel (WithKernel); every kernel yields the same
+// triangles and bitwise-identical Stats.
+func Run(o *digraph.Oriented, m Method, visit Visitor, opts ...Option) Stats {
+	s, _ := RunCtx(context.Background(), o, m, visit, opts...)
 	return s
 }
 
 // Count is a convenience wrapper that returns only the triangle count.
-func Count(o *digraph.Oriented, m Method) int64 {
-	return Run(o, m, nil).Triangles
+func Count(o *digraph.Oriented, m Method, opts ...Option) int64 {
+	return Run(o, m, nil, opts...).Triangles
 }

@@ -22,7 +22,7 @@ import (
 //
 // RunParallel is RunParallelCtx with a background context: unstoppable
 // once started. Servers and CLIs with deadlines use RunParallelCtx.
-func RunParallel(o *digraph.Oriented, m Method, workers int, visit Visitor) Stats {
-	s, _ := RunParallelCtx(context.Background(), o, m, workers, visit)
+func RunParallel(o *digraph.Oriented, m Method, workers int, visit Visitor, opts ...Option) Stats {
+	s, _ := RunParallelCtx(context.Background(), o, m, workers, visit, opts...)
 	return s
 }

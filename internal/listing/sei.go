@@ -11,7 +11,8 @@ import (
 // performed. A real scan early-exits when either list is exhausted, so
 // the return value is at most len(a)+len(b) and may be much less — the
 // paper's model cost charges the full sublist volumes instead, which is
-// why Stats tracks both.
+// why Stats tracks both. This is the KernelMerge implementation; the
+// other kernels report the same count via the mergeComps closed form.
 func intersect(a, b []int32, visit func(int32)) int64 {
 	var i, j int
 	var comps int64
@@ -44,26 +45,32 @@ func suffixAbove(list []int32, v int32) []int32 {
 }
 
 // runSEI executes a scanning edge iterator (§2.3): for every directed
-// edge it merge-intersects a sublist at each endpoint. The local list
-// belongs to the first visited node, the remote list to the second; their
-// model volumes follow Table 1. Methods E5 and E6 start the remote scan
-// mid-list (located here by binary search), the property that makes them
-// uncompetitive on real hardware (§2.3).
-func runSEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32) {
+// edge it intersects a sublist at each endpoint through the worker's
+// kernel engine. The local list belongs to the first visited node, the
+// remote list to the second; their model volumes follow Table 1 and are
+// charged by length, so LocalScan/RemoteScan (and, via mergeComps, the
+// measured Comparisons) are identical under every kernel. The local
+// sublist is always a window of the anchor's base adjacency list,
+// which is what lets the bitmap kernel stamp the base once per anchor
+// and answer every window probe in O(1). Methods E5 and E6 start the
+// remote scan mid-list (located here by binary search), the property
+// that makes them uncompetitive on real hardware (§2.3).
+func runSEI(o *digraph.Oriented, m Method, it *intersector, visit Visitor, s *Stats, lo, hi int32) {
 	switch m {
 	case E1:
 		// Visit z; for each y ∈ N⁺(z): local = N⁺(z) prefix below y
 		// (candidates x), remote = N⁺(y). Common x closes △xyz.
 		for z := lo; z < hi; z++ {
 			out := o.Out(z)
+			it.setBase(out)
 			for j, y := range out {
-				local := out[:j] // out-neighbors of z smaller than y
 				remote := o.Out(y)
-				s.LocalScan += int64(len(local))
+				s.LocalScan += int64(j)
 				s.RemoteScan += int64(len(remote))
-				s.Comparisons += intersect(local, remote, func(x int32) {
+				yy, zz := y, z
+				s.Comparisons += it.win(0, j, remote, func(x int32) {
 					s.Triangles++
-					visit(x, y, z)
+					visit(x, yy, zz)
 				})
 			}
 		}
@@ -72,12 +79,13 @@ func runSEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32
 		// remote = N⁺(z) prefix below y.
 		for y := lo; y < hi; y++ {
 			local := o.Out(y)
+			it.setBase(local)
 			for _, z := range o.In(y) {
 				remote := prefixBelow(o.Out(z), y)
 				s.LocalScan += int64(len(local))
 				s.RemoteScan += int64(len(remote))
 				yy, zz := y, z
-				s.Comparisons += intersect(local, remote, func(x int32) {
+				s.Comparisons += it.win(0, len(local), remote, func(x int32) {
 					s.Triangles++
 					visit(x, yy, zz)
 				})
@@ -88,13 +96,13 @@ func runSEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32
 		// (candidates z), remote = N⁻(y).
 		for x := lo; x < hi; x++ {
 			in := o.In(x)
+			it.setBase(in)
 			for j, y := range in {
-				local := in[j+1:]
 				remote := o.In(y)
-				s.LocalScan += int64(len(local))
+				s.LocalScan += int64(len(in) - j - 1)
 				s.RemoteScan += int64(len(remote))
 				xx, yy := x, y
-				s.Comparisons += intersect(local, remote, func(z int32) {
+				s.Comparisons += it.win(j+1, len(in), remote, func(z int32) {
 					s.Triangles++
 					visit(xx, yy, z)
 				})
@@ -105,13 +113,13 @@ func runSEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32
 		// (candidates y), remote = N⁻(x) prefix below z.
 		for z := lo; z < hi; z++ {
 			out := o.Out(z)
+			it.setBase(out)
 			for j, x := range out {
-				local := out[j+1:]
 				remote := prefixBelow(o.In(x), z)
-				s.LocalScan += int64(len(local))
+				s.LocalScan += int64(len(out) - j - 1)
 				s.RemoteScan += int64(len(remote))
 				xx, zz := x, z
-				s.Comparisons += intersect(local, remote, func(y int32) {
+				s.Comparisons += it.win(j+1, len(out), remote, func(y int32) {
 					s.Triangles++
 					visit(xx, y, zz)
 				})
@@ -122,12 +130,13 @@ func runSEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32
 		// remote = N⁻(x) suffix above y — the mid-list start.
 		for y := lo; y < hi; y++ {
 			local := o.In(y)
+			it.setBase(local)
 			for _, x := range o.Out(y) {
 				remote := suffixAbove(o.In(x), y)
 				s.LocalScan += int64(len(local))
 				s.RemoteScan += int64(len(remote))
 				xx, yy := x, y
-				s.Comparisons += intersect(local, remote, func(z int32) {
+				s.Comparisons += it.win(0, len(local), remote, func(z int32) {
 					s.Triangles++
 					visit(xx, yy, z)
 				})
@@ -138,13 +147,13 @@ func runSEI(o *digraph.Oriented, m Method, visit Visitor, s *Stats, lo, hi int32
 		// (candidates y), remote = N⁺(z) suffix above x — mid-list.
 		for x := lo; x < hi; x++ {
 			in := o.In(x)
+			it.setBase(in)
 			for j, z := range in {
-				local := in[:j]
 				remote := suffixAbove(o.Out(z), x)
-				s.LocalScan += int64(len(local))
+				s.LocalScan += int64(j)
 				s.RemoteScan += int64(len(remote))
 				xx, zz := x, z
-				s.Comparisons += intersect(local, remote, func(y int32) {
+				s.Comparisons += it.win(0, j, remote, func(y int32) {
 					s.Triangles++
 					visit(xx, y, zz)
 				})

@@ -48,6 +48,10 @@ type JobSpec struct {
 	// Order is a relabeling order name or "auto" (default): the
 	// paper-optimal order for the method.
 	Order string `json:"order,omitempty"`
+	// Kernel is the intersection kernel: "merge", "gallop", "bitmap",
+	// or "auto" (default). Kernels change only wall-clock speed — the
+	// triangle set and every cost meter are kernel-invariant.
+	Kernel string `json:"kernel,omitempty"`
 	// Seed feeds the uniform order's RNG; other orders ignore it.
 	Seed uint64 `json:"seed,omitempty"`
 	// Workers parallelizes the sweep (0 = serial). Capped at GOMAXPROCS.
@@ -70,6 +74,7 @@ type Job struct {
 	spec   JobSpec
 	method listing.Method
 	kind   order.Kind
+	kernel listing.Kernel
 	list   bool
 	limit  int
 
@@ -99,6 +104,7 @@ type JobView struct {
 	Mode     string `json:"mode"`
 	Method   string `json:"method"`
 	Order    string `json:"order"`
+	Kernel   string `json:"kernel"`
 	Workers  int    `json:"workers"`
 	Limit    int    `json:"limit,omitempty"`
 	Error    string `json:"error,omitempty"`
@@ -128,6 +134,7 @@ func (j *Job) View() JobView {
 		Mode:      map[bool]string{true: "list", false: "count"}[j.list],
 		Method:    j.method.String(),
 		Order:     j.kind.String(),
+		Kernel:    j.kernel.String(),
 		Workers:   j.spec.Workers,
 		Error:     j.errMsg,
 		CacheHit:  j.cacheHit,
@@ -180,10 +187,10 @@ var testHookJobStart func(*Job)
 // opts.QueueDepth.
 func NewManager(opts Options, reg *Registry, m *serverMetrics) *Manager {
 	mgr := &Manager{
-		reg:  reg,
-		m:    m,
-		opts: opts,
-		jobs: make(map[string]*Job),
+		reg:   reg,
+		m:     m,
+		opts:  opts,
+		jobs:  make(map[string]*Job),
 		queue: make(chan *Job, opts.QueueDepth),
 	}
 	for i := 0; i < opts.Workers; i++ {
@@ -245,6 +252,10 @@ func (mgr *Manager) Enqueue(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	kern, err := listing.ParseKernel(spec.Kernel)
+	if err != nil {
+		return nil, err
+	}
 	var isList bool
 	switch spec.Mode {
 	case "", "count":
@@ -299,6 +310,7 @@ func (mgr *Manager) Enqueue(spec JobSpec) (*Job, error) {
 		spec:     spec,
 		method:   method,
 		kind:     kind,
+		kernel:   kern,
 		list:     isList,
 		limit:    limit,
 		ctx:      ctx,
@@ -404,10 +416,12 @@ func (mgr *Manager) runJob(j *Job) {
 		}
 	}
 	start := time.Now()
-	st, runErr := listing.RunParallelCtx(j.ctx, o, j.method, j.spec.Workers, visit)
+	st, runErr := listing.RunParallelCtx(j.ctx, o, j.method, j.spec.Workers, visit, listing.WithKernel(j.kernel))
 	mgr.finalize(j, st, o.MaxOutDeg(), runErr)
 	if mgr.m != nil {
 		mgr.m.jobDuration.With(j.method.String()).Observe(time.Since(start).Seconds())
+		mgr.m.kernelDuration.With(j.kernel.String()).Observe(time.Since(start).Seconds())
+		mgr.m.jobsByKernel.With(j.kernel.String()).Inc()
 		mgr.m.trianglesListed.Add(st.Triangles)
 	}
 }

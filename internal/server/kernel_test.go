@@ -1,0 +1,53 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestJobKernelSelectionAndMetrics(t *testing.T) {
+	e := newTestEnv(t, Options{})
+	gi := e.register(t, erGraphText(t, 120, 900, 6))
+
+	// An unset kernel resolves to auto; every explicit kernel must report
+	// the same triangle count (the whole point of the kernel layer).
+	code, ref := e.postJob(t, JobSpec{Graph: gi.ID, Method: "E1", Wait: true})
+	if code != http.StatusOK {
+		t.Fatalf("job status %d", code)
+	}
+	if ref.Kernel != "auto" {
+		t.Fatalf("default kernel = %q, want auto", ref.Kernel)
+	}
+	for _, kern := range []string{"merge", "gallop", "bitmap", "auto"} {
+		code, v := e.postJob(t, JobSpec{Graph: gi.ID, Method: "E1", Kernel: kern, Wait: true})
+		if code != http.StatusOK {
+			t.Fatalf("kernel %s: status %d", kern, code)
+		}
+		if v.Kernel != kern {
+			t.Fatalf("kernel %s echoed as %q", kern, v.Kernel)
+		}
+		if v.Triangles != ref.Triangles || v.ModelOps != ref.ModelOps {
+			t.Fatalf("kernel %s: %d triangles / %d model-ops, want %d / %d",
+				kern, v.Triangles, v.ModelOps, ref.Triangles, ref.ModelOps)
+		}
+	}
+
+	code, _ = e.postJob(t, JobSpec{Graph: gi.ID, Method: "E1", Kernel: "quantum"})
+	if code != http.StatusBadRequest {
+		t.Fatalf("unknown kernel accepted with status %d", code)
+	}
+
+	// Per-kernel counters: 2 auto jobs (default + explicit) and 1 each of
+	// the rest; the duration histogram must expose the same labels.
+	text := e.metricsText(t)
+	for label, want := range map[string]int64{"auto": 2, "merge": 1, "gallop": 1, "bitmap": 1} {
+		name := `trid_jobs_kernel_total{kernel="` + label + `"}`
+		if got := metricValue(t, text, name); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+		if !strings.Contains(text, `trid_kernel_duration_seconds_count{kernel="`+label+`"}`) {
+			t.Errorf("kernel duration histogram missing label %q", label)
+		}
+	}
+}

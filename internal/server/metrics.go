@@ -18,6 +18,8 @@ type serverMetrics struct {
 
 	trianglesListed *metrics.Counter
 	jobDuration     *metrics.HistogramVec // labeled by listing method
+	jobsByKernel    *metrics.CounterVec   // labeled by intersection kernel
+	kernelDuration  *metrics.HistogramVec // labeled by intersection kernel
 
 	cacheHits      *metrics.Counter
 	cacheMisses    *metrics.Counter
@@ -44,6 +46,10 @@ func newServerMetrics() *serverMetrics {
 		trianglesListed: r.NewCounter("trid_triangles_listed_total", "Triangles reported across all jobs (partial sweeps included)."),
 		jobDuration: r.NewHistogramVec("trid_job_duration_seconds",
 			"Wall-clock sweep duration per listing method.", "method", metrics.DefBuckets),
+		jobsByKernel: r.NewCounterVec("trid_jobs_kernel_total",
+			"Jobs executed per intersection kernel.", "kernel"),
+		kernelDuration: r.NewHistogramVec("trid_kernel_duration_seconds",
+			"Wall-clock sweep duration per intersection kernel.", "kernel", metrics.DefBuckets),
 
 		cacheHits:      r.NewCounter("trid_graph_cache_hits_total", "Registry lookups served from a resident orientation."),
 		cacheMisses:    r.NewCounter("trid_graph_cache_misses_total", "Registry lookups that had to relabel and orient."),

@@ -1,0 +1,44 @@
+// BenchmarkKernels compares the neighbor-intersection kernels (merge,
+// gallop, bitmap, auto) on the paper's two truncation regimes. The model
+// cost is kernel-invariant by construction — these benches measure the
+// constant-factor wall-clock freedom the kernels exploit. The recorded
+// baseline lives in BENCH_kernels.json (regenerate with
+// `go run ./cmd/experiments -table kernels -csv .`); the acceptance bar
+// is auto >= 1.3x merge on the linear-truncation graph.
+package trilist_test
+
+import (
+	"fmt"
+	"testing"
+
+	"trilist/internal/degseq"
+	"trilist/internal/listing"
+	"trilist/internal/order"
+)
+
+func BenchmarkKernels(b *testing.B) {
+	for _, tc := range []struct {
+		name  string
+		trunc degseq.Truncation
+	}{
+		{"root", degseq.RootTruncation},
+		{"linear", degseq.LinearTruncation},
+	} {
+		g := paretoGraph(b, 1.5, 30000, tc.trunc)
+		o := orient(b, g, order.KindDescending)
+		for _, m := range []listing.Method{listing.E1, listing.E2} {
+			want := listing.Run(o, m, nil, listing.WithKernel(listing.KernelMerge)).Triangles
+			for _, k := range listing.Kernels {
+				b.Run(fmt.Sprintf("%s/%v/%v", tc.name, m, k), func(b *testing.B) {
+					var tri int64
+					for i := 0; i < b.N; i++ {
+						tri = listing.Run(o, m, nil, listing.WithKernel(k)).Triangles
+					}
+					if tri != want {
+						b.Fatalf("kernel %v found %d triangles, merge found %d", k, tri, want)
+					}
+				})
+			}
+		}
+	}
+}
