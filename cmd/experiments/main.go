@@ -38,7 +38,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	table := fs.String("table", "all", "table to regenerate: 3, 5, 6, 7, 8, 9, 10, 11, 12, scaling, kernels, or all")
+	table := fs.String("table", "all", "table to regenerate: 3, 5, 6, 7, 8, 9, 10, 11, 12, scaling, kernels, pipeline, or all")
 	scale := fs.String("scale", "default", "protocol scale: default or paper")
 	sizes := fs.String("sizes", "", "comma-separated graph sizes (overrides scale)")
 	seqs := fs.Int("seqs", 0, "degree sequences per point (overrides scale)")
@@ -49,7 +49,15 @@ func run(args []string, w io.Writer) error {
 		"goroutines running Monte-Carlo trials; output is identical for any value")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	kernels := fs.String("kernel", "merge,gallop,bitmap,auto",
-		"comma-separated intersection kernels for -table kernels")
+		"comma-separated intersection kernels for -table kernels/pipeline")
+	benchOut := fs.String("bench-out", "BENCH_pipeline.json",
+		"where -table pipeline writes its JSON measurements (empty = don't write)")
+	baseline := fs.String("baseline", "",
+		"recorded BENCH_pipeline.json to gate -table pipeline against (empty = no gate)")
+	tolerance := fs.Float64("tolerance", 0.25,
+		"fractional best-ms slowdown the -baseline gate tolerates (0.25 = 25%)")
+	trials := fs.Int("trials", 0, "timed repetitions per pipeline cell (0 = default 3)")
+	pipeN := fs.Int("n", 0, "graph size for -table pipeline (0 = default 50000)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -235,6 +243,67 @@ func run(args []string, w io.Writer) error {
 			return experiments.WriteKernelsJSON(f, rows)
 		}); err != nil {
 			return err
+		}
+	}
+	if *table == "pipeline" {
+		// Per-stage wall-clock benchmark with optional regression gate;
+		// opt-in only, like kernels (machine-dependent measurements).
+		ran = true
+		pcfg := experiments.PipelineConfig{N: *pipeN, Seed: cfg.Seed, Reps: *trials}
+		for _, s := range strings.Split(*kernels, ",") {
+			k, err := listing.ParseKernel(strings.TrimSpace(s))
+			if err != nil {
+				return err
+			}
+			pcfg.Kernels = append(pcfg.Kernels, k)
+		}
+		if *workers > 1 {
+			pcfg.Workers = []int{1, *workers}
+		}
+		t0 := time.Now()
+		bench, err := experiments.TablePipeline(pcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatPipeline(bench))
+		fmt.Fprintf(w, "(computed in %v)\n", time.Since(t0).Round(time.Millisecond))
+		if *benchOut != "" {
+			f, err := os.Create(*benchOut)
+			if err != nil {
+				return err
+			}
+			werr := experiments.WritePipelineJSON(f, bench)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
+			}
+			fmt.Fprintf(w, "wrote %s\n", *benchOut)
+		}
+		if err := writeCSV("pipeline.csv", func(f io.Writer) error {
+			return experiments.WritePipelineCSV(f, bench)
+		}); err != nil {
+			return err
+		}
+		if *baseline != "" {
+			f, err := os.Open(*baseline)
+			if err != nil {
+				return err
+			}
+			base, err := experiments.ReadPipelineJSON(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			if violations := experiments.ComparePipeline(bench, base, *tolerance); len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintln(w, "REGRESSION:", v)
+				}
+				return fmt.Errorf("pipeline benchmark regressed against %s (%d violations)",
+					*baseline, len(violations))
+			}
+			fmt.Fprintf(w, "baseline gate passed (%s, tolerance %.0f%%)\n", *baseline, *tolerance*100)
 		}
 	}
 	if !ran {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -100,6 +101,102 @@ func TestExperimentsWorkerDeterminism(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// pipelineArgs runs -table pipeline at a size small enough for CI.
+func pipelineArgs(benchOut string, extra ...string) []string {
+	args := []string{
+		"-table", "pipeline", "-n", "1500", "-trials", "1",
+		"-kernel", "merge,gallop", "-workers", "2",
+		"-bench-out", benchOut,
+	}
+	return append(args, extra...)
+}
+
+func TestExperimentsPipeline(t *testing.T) {
+	dir := t.TempDir()
+	benchOut := filepath.Join(dir, "BENCH_pipeline.json")
+	var out strings.Builder
+	if err := run(append(pipelineArgs(benchOut), "-csv", dir), &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Pipeline stage benchmark", "generate", "list", "wrote "} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+	data, err := os.ReadFile(benchOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"schema": "trilist/pipeline-bench/v1"`) {
+		t.Fatalf("bench JSON missing schema:\n%s", data)
+	}
+	if _, err := os.ReadFile(filepath.Join(dir, "pipeline.csv")); err != nil {
+		t.Fatal(err)
+	}
+
+	// Gate pass: a baseline with huge best_ms can never be regressed
+	// against, whatever this machine's clock does.
+	pass := filepath.Join(dir, "pass.json")
+	if err := os.WriteFile(pass, rewriteBestMS(t, data, 1e9), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(pipelineArgs(benchOut, "-baseline", pass), &out); err != nil {
+		t.Fatalf("gate against generous baseline failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "baseline gate passed") {
+		t.Fatalf("missing pass message:\n%s", out.String())
+	}
+
+	// Gate fail: a baseline with microscopic best_ms is always exceeded.
+	fail := filepath.Join(dir, "fail.json")
+	if err := os.WriteFile(fail, rewriteBestMS(t, data, 1e-9), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	err = run(pipelineArgs(benchOut, "-baseline", fail), &out)
+	if err == nil || !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("gate against impossible baseline passed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "REGRESSION:") {
+		t.Fatalf("missing regression lines:\n%s", out.String())
+	}
+}
+
+// rewriteBestMS sets every row's best_ms in a bench JSON document.
+func rewriteBestMS(t *testing.T, data []byte, ms float64) []byte {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range doc["rows"].([]any) {
+		r.(map[string]any)["best_ms"] = ms
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestExperimentsPipelineBadBaseline(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"schema":"nope"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	err := run(pipelineArgs(filepath.Join(dir, "out.json"), "-baseline", bad), &out)
+	if err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("bad baseline schema accepted: %v", err)
+	}
+	if err := run(pipelineArgs(filepath.Join(dir, "out2.json"),
+		"-baseline", filepath.Join(dir, "enoent.json")), &out); err == nil {
+		t.Fatal("missing baseline file accepted")
 	}
 }
 

@@ -5,12 +5,17 @@
 // Usage:
 //
 //	trid [-addr :8080] [-cache-bytes 1073741824] [-queue 64] \
-//	     [-workers 0] [-drain-timeout 30s]
+//	     [-workers 0] [-drain-timeout 30s] [-debug-addr addr]
 //
 // The daemon logs its listen address on startup and shuts down
 // gracefully on SIGINT/SIGTERM: new submissions get 503 while queued
 // and in-flight jobs drain, bounded by -drain-timeout (after which
 // remaining sweeps are cancelled at their next checkpoint).
+//
+// -debug-addr (e.g. localhost:6060) opts into a second listener
+// serving net/http/pprof under /debug/pprof/ — kept off the API
+// address so profiling endpoints are never exposed where the JSON API
+// is. It is empty (disabled) by default.
 //
 //	curl -X POST --data-binary @graph.txt localhost:8080/v1/graphs
 //	curl -X POST -d '{"graph":"sha256:...","method":"E1","wait":true}' \
@@ -25,6 +30,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -52,6 +58,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	queueDepth := fs.Int("queue", 64, "job queue depth; submissions beyond it get 503")
 	workers := fs.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
+	debugAddr := fs.String("debug-addr", "", "optional listen address serving net/http/pprof under /debug/pprof/ (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -71,6 +78,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- hs.Serve(ln) }()
 
+	var ds *http.Server
+	if *debugAddr != "" {
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			return fmt.Errorf("debug listener: %w", err)
+		}
+		fmt.Fprintf(out, "trid debug (pprof) listening on %s\n", dln.Addr())
+		ds = &http.Server{Handler: debugMux()}
+		go func() {
+			// Best-effort: a dead debug listener must not take down the
+			// serving daemon.
+			if err := ds.Serve(dln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				fmt.Fprintf(out, "trid: debug server: %v\n", err)
+			}
+		}()
+	}
+
 	select {
 	case err := <-serveErr:
 		return err
@@ -88,7 +112,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if err := hs.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		return err
 	}
+	if ds != nil {
+		_ = ds.Shutdown(drainCtx)
+	}
 	<-serveErr // Serve has returned http.ErrServerClosed
 	fmt.Fprintln(out, "trid stopped")
 	return nil
+}
+
+// debugMux routes the pprof surface explicitly rather than relying on
+// net/http/pprof's DefaultServeMux registrations, so nothing else ever
+// leaks onto the debug listener.
+func debugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
 }

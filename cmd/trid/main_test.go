@@ -104,6 +104,72 @@ func TestDaemonLifecycle(t *testing.T) {
 	}
 }
 
+// waitLogAddr polls the log for a line starting with prefix and
+// returns the remainder (the bound address).
+func waitLogAddr(t *testing.T, out *syncBuffer, prefix string) string {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		for _, line := range strings.Split(out.String(), "\n") {
+			if rest, ok := strings.CutPrefix(line, prefix); ok {
+				return rest
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("log line %q never appeared; output:\n%s", prefix, out.String())
+	return ""
+}
+
+// TestDebugAddrServesPprof boots the daemon with both listeners on
+// ephemeral ports and checks that the debug listener serves
+// /debug/pprof/ while the API listener does not.
+func TestDebugAddrServesPprof(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	out := &syncBuffer{}
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, []string{
+			"-addr", "127.0.0.1:0", "-debug-addr", "127.0.0.1:0",
+		}, out)
+	}()
+	apiAddr := waitLogAddr(t, out, "trid listening on ")
+	dbgAddr := waitLogAddr(t, out, "trid debug (pprof) listening on ")
+
+	get := func(addr, path string) int {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			t.Fatalf("GET %s%s: %v", addr, path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := get(apiAddr, "/healthz"); code != http.StatusOK {
+		t.Errorf("healthz on API addr: status %d, want 200", code)
+	}
+	if code := get(dbgAddr, "/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("pprof index on debug addr: status %d, want 200", code)
+	}
+	if code := get(dbgAddr, "/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("pprof cmdline on debug addr: status %d, want 200", code)
+	}
+	// The profiling surface must stay off the API listener.
+	if code := get(apiAddr, "/debug/pprof/"); code == http.StatusOK {
+		t.Error("pprof exposed on the API address")
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not shut down")
+	}
+}
+
 func TestDaemonBadFlags(t *testing.T) {
 	if err := run(context.Background(), []string{"-addr"}, &syncBuffer{}); err == nil {
 		t.Fatal("bad flag accepted")

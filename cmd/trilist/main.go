@@ -17,8 +17,10 @@
 // (auto-detected). -workers N parallelizes the sweep; -parts P > 1
 // switches to the external-memory partitioned lister (ignoring -method),
 // spilling blocks to -spill (or memory if unset). -timeout bounds the
-// sweep; on expiry trilist exits non-zero after reporting the partial
-// triangle count.
+// sweep (including partitioned runs, cancelled between block triples);
+// on expiry trilist exits non-zero after reporting the partial triangle
+// count. -stages prints a per-stage wall-clock breakdown (rank, orient,
+// list) after the run.
 package main
 
 import (
@@ -35,6 +37,7 @@ import (
 	"trilist/internal/extmem"
 	"trilist/internal/graph"
 	"trilist/internal/listing"
+	"trilist/internal/obsv"
 	"trilist/internal/order"
 )
 
@@ -57,6 +60,7 @@ func run(args []string, out io.Writer) error {
 	parts := fs.Int("parts", 1, "external-memory partitions (>1 enables the partitioned lister)")
 	spill := fs.String("spill", "", "spill directory for -parts (default: in-memory blocks)")
 	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
+	stages := fs.Bool("stages", false, "print a per-stage wall-clock breakdown after the run")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -92,11 +96,9 @@ func run(args []string, out io.Writer) error {
 		visit = func(x, y, z int32) { fmt.Fprintf(w, "%d %d %d\n", x, y, z) }
 	}
 	fmt.Fprintf(w, "# graph: n=%d m=%d\n", g.NumNodes(), g.NumEdges())
-	if *parts > 1 {
-		if *timeout > 0 {
-			return fmt.Errorf("-timeout is not supported with -parts > 1")
-		}
-		return runPartitioned(g, kind, *parts, *spill, *seed, visit, w)
+	var rec *obsv.Recorder
+	if *stages {
+		rec = obsv.NewRecorder()
 	}
 	ctx := context.Background()
 	if *timeout > 0 {
@@ -104,9 +106,15 @@ func run(args []string, out io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := core.ListCtx(ctx, g, core.Config{Method: method, Order: kind, Seed: *seed, Workers: *workers, Kernel: kern}, visit)
+	if *parts > 1 {
+		err := runPartitioned(ctx, g, kind, *parts, *spill, *seed, rec, visit, w)
+		printStages(w, rec)
+		return err
+	}
+	res, err := core.ListCtx(ctx, g, core.Config{Method: method, Order: kind, Seed: *seed, Workers: *workers, Kernel: kern, Recorder: rec}, visit)
 	if errors.Is(err, context.DeadlineExceeded) {
 		// Non-zero exit, but report how far the sweep got.
+		printStages(w, rec)
 		return fmt.Errorf("deadline exceeded after %v: %d triangles found before the sweep was cut short",
 			*timeout, res.Triangles)
 	}
@@ -119,13 +127,26 @@ func run(args []string, out io.Writer) error {
 		res.ModelOps(), float64(res.ModelOps())/float64(g.NumNodes()))
 	fmt.Fprintf(w, "# max-out-degree=%d\n", res.MaxOutDeg)
 	fmt.Fprintf(w, "# prep=%v list=%v\n", res.PrepTime, res.ListTime)
+	printStages(w, rec)
 	return nil
 }
 
-// runPartitioned executes the external-memory lister.
-func runPartitioned(g *graph.Graph, kind order.Kind, parts int, spill string,
-	seed uint64, visit listing.Visitor, w io.Writer) error {
-	o, err := core.Prepare(g, core.Config{Order: kind, Seed: seed})
+// printStages renders the -stages breakdown as comment lines.
+func printStages(w io.Writer, rec *obsv.Recorder) {
+	if rec == nil {
+		return
+	}
+	fmt.Fprintf(w, "# stage breakdown:\n")
+	for _, line := range strings.Split(strings.TrimRight(rec.Format(), "\n"), "\n") {
+		fmt.Fprintf(w, "#   %s\n", line)
+	}
+}
+
+// runPartitioned executes the external-memory lister. ctx cancellation
+// stops it between block triples.
+func runPartitioned(ctx context.Context, g *graph.Graph, kind order.Kind, parts int, spill string,
+	seed uint64, rec *obsv.Recorder, visit listing.Visitor, w io.Writer) error {
+	o, err := core.Prepare(g, core.Config{Order: kind, Seed: seed, Recorder: rec})
 	if err != nil {
 		return err
 	}
@@ -140,7 +161,13 @@ func runPartitioned(g *graph.Graph, kind order.Kind, parts int, spill string,
 		store = fs
 	}
 	defer store.Close()
-	res, err := extmem.Run(o, parts, store, visit)
+	sp := rec.Start(obsv.StageList)
+	res, err := extmem.Run(ctx, o, parts, store, visit)
+	sp.End()
+	if errors.Is(err, context.DeadlineExceeded) {
+		return fmt.Errorf("deadline exceeded: %d triangles found in %d passes before the run was cut short",
+			res.Triangles, res.Passes)
+	}
 	if err != nil {
 		return err
 	}

@@ -126,9 +126,40 @@ func TestRunTimeout(t *testing.T) {
 	if !strings.Contains(out.String(), "triangles=4") {
 		t.Fatalf("timed run lost the count:\n%s", out.String())
 	}
-	// -timeout cannot bound the partitioned lister.
-	if err := run([]string{"-in", path, "-parts", "2", "-timeout", "1s"}, &out); err == nil {
-		t.Fatal("-timeout with -parts accepted")
+	// -timeout bounds the partitioned lister too: generous deadlines
+	// change nothing, expired ones cancel between block triples.
+	out.Reset()
+	if err := run([]string{"-in", path, "-parts", "2", "-timeout", "1m"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "triangles=4") {
+		t.Fatalf("timed partitioned run lost the count:\n%s", out.String())
+	}
+	err = run([]string{"-in", path, "-parts", "2", "-timeout", "1ns"}, &out)
+	if err == nil || !strings.Contains(err.Error(), "deadline exceeded") {
+		t.Fatalf("expired partitioned deadline not reported: %v", err)
+	}
+}
+
+func TestRunStages(t *testing.T) {
+	path := writeTempGraph(t, k4)
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-stages"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# stage breakdown:", "rank", "orient", "list"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("-stages output missing %q:\n%s", want, out.String())
+		}
+	}
+	// The partitioned path reports the same stage set.
+	out.Reset()
+	if err := run([]string{"-in", path, "-parts", "2", "-stages"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "# stage breakdown:") ||
+		!strings.Contains(out.String(), "list") {
+		t.Fatalf("-stages missing from partitioned run:\n%s", out.String())
 	}
 }
 

@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,7 +35,7 @@ func main() {
 	fmt.Printf("%6s %10s %14s %14s %12s\n", "P", "passes", "arcs read", "read/m", "triangles")
 	for _, parts := range []int{1, 2, 4, 8, 16} {
 		store := extmem.NewMemStore()
-		res, err := extmem.Run(o, parts, store, nil)
+		res, err := extmem.Run(context.Background(), o, parts, store, nil)
 		if err != nil {
 			log.Fatal(err)
 		}

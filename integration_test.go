@@ -7,6 +7,7 @@
 package trilist_test
 
 import (
+	"context"
 	"testing"
 	"testing/quick"
 
@@ -92,7 +93,7 @@ func TestAllImplementationsAgree(t *testing.T) {
 		}
 		// External memory, P = 3.
 		store := extmem.NewMemStore()
-		res, err := extmem.Run(o, 3, store, nil)
+		res, err := extmem.Run(context.Background(), o, 3, store, nil)
 		store.Close()
 		if err != nil || res.Triangles != want {
 			return false

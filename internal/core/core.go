@@ -22,6 +22,7 @@ import (
 	"trilist/internal/graph"
 	"trilist/internal/listing"
 	"trilist/internal/model"
+	"trilist/internal/obsv"
 	"trilist/internal/order"
 	"trilist/internal/stats"
 )
@@ -47,6 +48,11 @@ type Config struct {
 	// kernel returns the same triangles and bitwise-identical Stats,
 	// differing only in wall-clock speed.
 	Kernel listing.Kernel
+	// Recorder, when non-nil, receives one span per pipeline stage
+	// (rank and orient from Prepare, list from the sweep). The nil
+	// default adds zero overhead, and attaching a recorder never changes
+	// results: Stats stay bitwise identical.
+	Recorder *obsv.Recorder
 }
 
 // Recommended returns the paper-optimal order for the method
@@ -85,11 +91,15 @@ func Prepare(g *graph.Graph, cfg Config) (*digraph.Oriented, error) {
 	if cfg.Order == order.KindUniform {
 		rng = stats.NewRNGFromSeed(cfg.Seed)
 	}
+	spRank := cfg.Recorder.Start(obsv.StageRank)
 	rank, err := order.Rank(g, cfg.Order, rng)
+	spRank.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: relabeling: %w", err)
 	}
+	spOrient := cfg.Recorder.Start(obsv.StageOrient)
 	o, err := digraph.Orient(g, rank)
+	spOrient.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: orientation: %w", err)
 	}
@@ -130,9 +140,11 @@ func ListOriented(ctx context.Context, o *digraph.Oriented, cfg Config, visit li
 	var st listing.Stats
 	var runErr error
 	if cfg.Workers > 1 {
-		st, runErr = listing.RunParallelCtx(ctx, o, cfg.Method, cfg.Workers, visit, listing.WithKernel(cfg.Kernel))
+		st, runErr = listing.RunParallelCtx(ctx, o, cfg.Method, cfg.Workers, visit,
+			listing.WithKernel(cfg.Kernel), listing.WithRecorder(cfg.Recorder))
 	} else {
-		st, runErr = listing.RunCtx(ctx, o, cfg.Method, visit, listing.WithKernel(cfg.Kernel))
+		st, runErr = listing.RunCtx(ctx, o, cfg.Method, visit,
+			listing.WithKernel(cfg.Kernel), listing.WithRecorder(cfg.Recorder))
 	}
 	t2 := time.Now()
 	return Result{

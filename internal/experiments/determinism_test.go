@@ -3,6 +3,8 @@ package experiments
 import (
 	"strings"
 	"testing"
+
+	"trilist/internal/obsv"
 )
 
 // determinismConfig is deliberately small: the invariance proof is about
@@ -18,11 +20,13 @@ func determinismConfig() Config {
 }
 
 // renderAllTables produces the formatted output of every simulated table
-// (6–12) plus the scaling study, under the given worker count.
-func renderAllTables(t *testing.T, workers int) string {
+// (6–12) plus the scaling study, under the given worker count and
+// (possibly nil) stage recorder.
+func renderAllTables(t *testing.T, workers int, rec *obsv.Recorder) string {
 	t.Helper()
 	cfg := determinismConfig()
 	cfg.Workers = workers
+	cfg.Recorder = rec
 	var b strings.Builder
 	for _, run := range []func(Config) (*PairTable, error){
 		Table6, Table7, Table8, Table9, Table10,
@@ -56,11 +60,31 @@ func renderAllTables(t *testing.T, workers int) string {
 // byte-identical for any worker count, because RNG derivation stays
 // serial and the sample merge tree is fixed by the protocol (engine.go).
 func TestWorkerCountInvariance(t *testing.T) {
-	want := renderAllTables(t, 1)
+	want := renderAllTables(t, 1, nil)
 	for _, workers := range []int{2, 8} {
-		if got := renderAllTables(t, workers); got != want {
+		if got := renderAllTables(t, workers, nil); got != want {
 			t.Errorf("workers=%d output differs from workers=1:\n--- workers=1 ---\n%s\n--- workers=%d ---\n%s",
 				workers, want, workers, got)
+		}
+	}
+}
+
+// TestRecorderOutputInvariance is the observability half of the
+// determinism contract: attaching a stage recorder to the engine — with
+// trials running across several workers — leaves every rendered table
+// byte-identical to the nil-recorder run, while the recorder itself
+// accumulates the per-trial stage aggregates.
+func TestRecorderOutputInvariance(t *testing.T) {
+	want := renderAllTables(t, 4, nil)
+	rec := obsv.NewRecorder()
+	if got := renderAllTables(t, 4, rec); got != want {
+		t.Errorf("recorder-attached output differs from nil-recorder output:\n--- nil ---\n%s\n--- recorder ---\n%s",
+			want, got)
+	}
+	snap := rec.Snapshot()
+	for _, stage := range []obsv.Stage{obsv.StageGenerate, obsv.StageRank, obsv.StageOrient} {
+		if snap[stage].Count == 0 {
+			t.Errorf("stage %q recorded no spans", stage)
 		}
 	}
 }

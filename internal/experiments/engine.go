@@ -10,6 +10,7 @@ import (
 	"trilist/internal/gen"
 	"trilist/internal/listing"
 	"trilist/internal/model"
+	"trilist/internal/obsv"
 	"trilist/internal/order"
 	"trilist/internal/stats"
 )
@@ -126,6 +127,8 @@ func simulateCost(p degseq.Pareto, n int, trunc degseq.Truncation,
 	// read-only by that sequence's Graphs trials.
 	seqs := make([]degseq.Sequence, cfg.Seqs)
 	if err := forEachIndex(workers, cfg.Seqs, func(s int) error {
+		sp := cfg.Recorder.Start(obsv.StageGenerate)
+		defer sp.End()
 		d := degseq.Sample(tr, n, seqRNGs[s])
 		d.MakeEven()
 		seqs[s] = d
@@ -138,17 +141,23 @@ func simulateCost(p degseq.Pareto, n int, trunc degseq.Truncation,
 	// the per-node model cost into the trial's own slot.
 	costs := make([][]float64, len(trials))
 	if err := forEachIndex(workers, len(trials), func(t int) error {
+		spGen := cfg.Recorder.Start(obsv.StageGenerate)
 		gr, _, err := gen.ResidualDegree(seqs[t/cfg.Graphs], trials[t].graph)
+		spGen.End()
 		if err != nil {
 			return err
 		}
 		c := make([]float64, len(specs))
 		for i, spec := range specs {
+			spRank := cfg.Recorder.Start(obsv.StageRank)
 			rank, err := order.Rank(gr, spec.Order, trials[t].orders[i])
+			spRank.End()
 			if err != nil {
 				return err
 			}
+			spOrient := cfg.Recorder.Start(obsv.StageOrient)
 			o, err := digraph.Orient(gr, rank)
+			spOrient.End()
 			if err != nil {
 				return err
 			}

@@ -19,6 +19,7 @@ import (
 	"trilist/internal/degseq"
 	"trilist/internal/listing"
 	"trilist/internal/model"
+	"trilist/internal/obsv"
 	"trilist/internal/order"
 	"trilist/internal/stats"
 )
@@ -38,6 +39,13 @@ type Config struct {
 	// GOMAXPROCS. Results are byte-identical for every worker count (see
 	// engine.go for the determinism contract).
 	Workers int
+	// Recorder, when non-nil, aggregates per-trial stage spans
+	// (generate, rank, orient) across the whole protocol. Wall totals
+	// are summed over concurrent trials, so they measure CPU work, not
+	// elapsed time. Attaching a recorder never changes table output —
+	// the determinism tests compare the rendered bytes with and without
+	// one.
+	Recorder *obsv.Recorder
 }
 
 // DefaultConfig returns the laptop-scale defaults: sizes 10⁴/3·10⁴/10⁵,

@@ -1,0 +1,303 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"trilist/internal/core"
+	"trilist/internal/degseq"
+	"trilist/internal/digraph"
+	"trilist/internal/gen"
+	"trilist/internal/listing"
+	"trilist/internal/obsv"
+	"trilist/internal/order"
+	"trilist/internal/stats"
+)
+
+// This file is the pipeline benchmark-regression harness: it times each
+// stage of the listing pipeline (generate → rank → orient → list) on
+// the paper's Pareto workloads via internal/obsv stage spans, writes the
+// measurements as BENCH_pipeline.json, and gates a fresh run against a
+// recorded baseline with a configurable tolerance. The stage split
+// matters because the paper's asymptotics price the *sweep* while the
+// serving story (trid) amortizes rank+orient — a regression in either
+// half has a different fix, and a whole-pipeline timer can't tell them
+// apart.
+
+// PipelineSchema versions the BENCH_pipeline.json layout; readers
+// reject anything else.
+const PipelineSchema = "trilist/pipeline-bench/v1"
+
+// PipelineRow is one (workload, stage, kernel, workers) measurement.
+// Preparation stages (generate, rank, orient) are kernel- and
+// worker-agnostic: their Kernel is "-" and Workers is 0. List rows
+// carry the sweep's triangle count and model cost so the baseline gate
+// also catches correctness drift, not just slowdowns.
+type PipelineRow struct {
+	Workload  string  `json:"workload"` // truncation: root or linear
+	Stage     string  `json:"stage"`
+	Kernel    string  `json:"kernel"`
+	Workers   int     `json:"workers"`
+	BestMS    float64 `json:"best_ms"` // min over reps
+	Triangles int64   `json:"triangles"`
+	ModelOps  int64   `json:"model_ops"`
+}
+
+// key identifies a row for baseline matching: everything but the
+// measurements.
+func (r PipelineRow) key() string {
+	return fmt.Sprintf("%s/%s/%s/w%d", r.Workload, r.Stage, r.Kernel, r.Workers)
+}
+
+// PipelineBench is the persisted benchmark document.
+type PipelineBench struct {
+	Schema string        `json:"schema"`
+	N      int           `json:"n"`
+	Alpha  float64       `json:"alpha"`
+	Seed   uint64        `json:"seed"`
+	Reps   int           `json:"reps"`
+	Rows   []PipelineRow `json:"rows"`
+}
+
+// PipelineConfig parameterizes TablePipeline.
+type PipelineConfig struct {
+	// N is the graph size. Default 50000.
+	N int
+	// Alpha is the Pareto shape. Default 1.5.
+	Alpha float64
+	// Seed feeds graph generation. Default 20170514.
+	Seed uint64
+	// Reps is the number of timed repetitions per cell; BestMS is the
+	// minimum (filters scheduler noise). Default 3.
+	Reps int
+	// Kernels to time in the list stage; defaults to all four. Merge is
+	// always included (it is the cross-check baseline).
+	Kernels []listing.Kernel
+	// Workers are the sweep parallelism levels to time. Default {1, 4}.
+	Workers []int
+	// Clock, when non-nil, replaces the monotonic clock behind every
+	// stage span — tests stub it to make BestMS deterministic. The nil
+	// default uses time.Now.
+	Clock obsv.Clock
+}
+
+func (c PipelineConfig) withDefaults() PipelineConfig {
+	if c.N <= 0 {
+		c.N = 50000
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1.5
+	}
+	if c.Seed == 0 {
+		c.Seed = 20170514
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	if len(c.Kernels) == 0 {
+		c.Kernels = listing.Kernels
+	}
+	if len(c.Workers) == 0 {
+		c.Workers = []int{1, 4}
+	}
+	return c
+}
+
+// recorderOpts builds the per-rep recorder options: the injected clock
+// (if any) and no alloc sampling, so timing stays pure.
+func (c PipelineConfig) recorderOpts() []obsv.Option {
+	opts := []obsv.Option{obsv.WithAllocSampler(nil)}
+	if c.Clock != nil {
+		opts = append(opts, obsv.WithClock(c.Clock))
+	}
+	return opts
+}
+
+// stageMS extracts one stage's wall time in milliseconds from a
+// recorder snapshot.
+func stageMS(rec *obsv.Recorder, s obsv.Stage) float64 {
+	return rec.Snapshot()[s].Wall.Seconds() * 1e3
+}
+
+// TablePipeline times every pipeline stage on root- and linear-truncated
+// Pareto graphs. Preparation stages are timed once per rep; the list
+// stage is timed per kernel × worker count with the E1 sweep under θ_D
+// (the paper-recommended pairing). Every (kernel, workers) cell is
+// cross-checked against the serial merge baseline — bitwise-equal Stats
+// or the run errors, so the benchmark doubles as an end-to-end
+// differential test.
+func TablePipeline(cfg PipelineConfig) (*PipelineBench, error) {
+	cfg = cfg.withDefaults()
+	p := degseq.StandardPareto(cfg.Alpha)
+	bench := &PipelineBench{
+		Schema: PipelineSchema,
+		N:      cfg.N,
+		Alpha:  cfg.Alpha,
+		Seed:   cfg.Seed,
+		Reps:   cfg.Reps,
+	}
+	for ti, trunc := range []degseq.Truncation{degseq.RootTruncation, degseq.LinearTruncation} {
+		workload := trunc.String()
+		ccfg := core.Config{Method: listing.E1, Order: order.KindDescending}
+
+		// Preparation reps: regenerate and re-prepare the full front of
+		// the pipeline each rep so every stage sees a cold pass.
+		bestPrep := map[obsv.Stage]float64{}
+		var oriented *digraph.Oriented
+		for r := 0; r < cfg.Reps; r++ {
+			rec := obsv.NewRecorder(cfg.recorderOpts()...)
+			spGen := rec.Start(obsv.StageGenerate)
+			g, _, err := gen.ParetoGraph(p, cfg.N, trunc, stats.NewRNGFromSeed(cfg.Seed+uint64(ti)))
+			spGen.End()
+			if err != nil {
+				return nil, err
+			}
+			pcfg := ccfg
+			pcfg.Recorder = rec
+			od, err := core.Prepare(g, pcfg)
+			if err != nil {
+				return nil, err
+			}
+			oriented = od
+			for _, s := range []obsv.Stage{obsv.StageGenerate, obsv.StageRank, obsv.StageOrient} {
+				ms := stageMS(rec, s)
+				if best, ok := bestPrep[s]; !ok || ms < best {
+					bestPrep[s] = ms
+				}
+			}
+		}
+		for _, s := range []obsv.Stage{obsv.StageGenerate, obsv.StageRank, obsv.StageOrient} {
+			bench.Rows = append(bench.Rows, PipelineRow{
+				Workload: workload, Stage: string(s), Kernel: "-", Workers: 0,
+				BestMS: bestPrep[s],
+			})
+		}
+
+		// List reps: same prepared orientation, per kernel × workers.
+		var base listing.Stats
+		haveBase := false
+		for _, k := range cfg.Kernels {
+			for _, workers := range cfg.Workers {
+				var st listing.Stats
+				best := 0.0
+				for r := 0; r < cfg.Reps; r++ {
+					rec := obsv.NewRecorder(cfg.recorderOpts()...)
+					lcfg := ccfg
+					lcfg.Kernel = k
+					lcfg.Workers = workers
+					lcfg.Recorder = rec
+					res, err := core.ListOriented(context.Background(), oriented, lcfg, nil)
+					if err != nil {
+						return nil, err
+					}
+					st = res.Stats
+					ms := stageMS(rec, obsv.StageList)
+					if r == 0 || ms < best {
+						best = ms
+					}
+				}
+				if !haveBase {
+					base, haveBase = st, true
+				} else if st != base {
+					return nil, fmt.Errorf("experiments: pipeline kernel %v workers=%d diverged on %s: %+v vs %+v",
+						k, workers, workload, st, base)
+				}
+				bench.Rows = append(bench.Rows, PipelineRow{
+					Workload: workload, Stage: string(obsv.StageList),
+					Kernel: k.String(), Workers: workers,
+					BestMS: best, Triangles: st.Triangles, ModelOps: st.ModelOps(),
+				})
+			}
+		}
+	}
+	return bench, nil
+}
+
+// FormatPipeline renders the bench as the aligned text table the CLI
+// prints.
+func FormatPipeline(b *PipelineBench) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Pipeline stage benchmark — E1+θ_D, n=%d, α=%g, best of %d reps\n",
+		b.N, b.Alpha, b.Reps)
+	fmt.Fprintf(&sb, "%-8s %-9s %-7s %7s %10s %12s %14s\n",
+		"workload", "stage", "kernel", "workers", "best-ms", "triangles", "model-ops")
+	for _, r := range b.Rows {
+		fmt.Fprintf(&sb, "%-8s %-9s %-7s %7d %10.2f %12d %14d\n",
+			r.Workload, r.Stage, r.Kernel, r.Workers, r.BestMS, r.Triangles, r.ModelOps)
+	}
+	return sb.String()
+}
+
+// WritePipelineCSV emits the rows as CSV.
+func WritePipelineCSV(w io.Writer, b *PipelineBench) error {
+	if _, err := fmt.Fprintln(w, "workload,stage,kernel,workers,best_ms,triangles,model_ops"); err != nil {
+		return err
+	}
+	for _, r := range b.Rows {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%.3f,%d,%d\n",
+			r.Workload, r.Stage, r.Kernel, r.Workers, r.BestMS, r.Triangles, r.ModelOps); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePipelineJSON emits the bench document as indented JSON — the
+// BENCH_pipeline.json format.
+func WritePipelineJSON(w io.Writer, b *PipelineBench) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadPipelineJSON parses a bench document and validates its schema.
+func ReadPipelineJSON(r io.Reader) (*PipelineBench, error) {
+	var b PipelineBench
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("experiments: pipeline bench: %w", err)
+	}
+	if b.Schema != PipelineSchema {
+		return nil, fmt.Errorf("experiments: pipeline bench schema %q, want %q", b.Schema, PipelineSchema)
+	}
+	return &b, nil
+}
+
+// ComparePipeline gates cur against base: every baseline cell must be
+// present in cur, its Triangles/ModelOps must match exactly (when the
+// baseline recorded them), and its BestMS must not exceed the baseline
+// by more than the fractional tolerance (tol 0.25 = 25% slower allowed).
+// The returned strings describe the violations, sorted; empty means the
+// gate passes. Cells only in cur are fine — adding kernels or worker
+// counts is not a regression.
+func ComparePipeline(cur, base *PipelineBench, tol float64) []string {
+	curByKey := make(map[string]PipelineRow, len(cur.Rows))
+	for _, r := range cur.Rows {
+		curByKey[r.key()] = r
+	}
+	var out []string
+	for _, b := range base.Rows {
+		c, ok := curByKey[b.key()]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: missing from current run", b.key()))
+			continue
+		}
+		if b.Triangles != 0 && c.Triangles != b.Triangles {
+			out = append(out, fmt.Sprintf("%s: triangles %d, baseline %d", b.key(), c.Triangles, b.Triangles))
+		}
+		if b.ModelOps != 0 && c.ModelOps != b.ModelOps {
+			out = append(out, fmt.Sprintf("%s: model_ops %d, baseline %d", b.key(), c.ModelOps, b.ModelOps))
+		}
+		if limit := b.BestMS * (1 + tol); b.BestMS > 0 && c.BestMS > limit {
+			out = append(out, fmt.Sprintf("%s: best_ms %.3f exceeds baseline %.3f by more than %.0f%%",
+				b.key(), c.BestMS, b.BestMS, tol*100))
+		}
+	}
+	sort.Strings(out)
+	return out
+}

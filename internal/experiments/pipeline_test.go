@@ -1,0 +1,237 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"trilist/internal/listing"
+	"trilist/internal/obsv"
+)
+
+// stubClock is a goroutine-safe fake monotonic clock advancing a fixed
+// step per reading, so every stage span measures exactly one step and
+// TablePipeline's output is fully deterministic.
+type stubClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func (c *stubClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+func tinyPipelineConfig(clock obsv.Clock) PipelineConfig {
+	return PipelineConfig{
+		N: 1500, Seed: 7, Reps: 2,
+		Kernels: []listing.Kernel{listing.KernelMerge, listing.KernelGallop},
+		Workers: []int{1, 2},
+		Clock:   clock,
+	}
+}
+
+// TestPipelineDeterministicWithFakeClock: with the clock stubbed, two
+// runs produce byte-identical JSON — the property the CI smoke and the
+// baseline gate rely on.
+func TestPipelineDeterministicWithFakeClock(t *testing.T) {
+	render := func() string {
+		clk := &stubClock{step: time.Millisecond}
+		b, err := TablePipeline(tinyPipelineConfig(clk.Now))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var sb strings.Builder
+		if err := WritePipelineJSON(&sb, b); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("stubbed-clock runs differ:\n%s\nvs\n%s", a, b)
+	}
+	// Every span is one clock step, so each stage's best is exactly 1ms.
+	bench, err := TablePipeline(func() PipelineConfig {
+		clk := &stubClock{step: time.Millisecond}
+		c := tinyPipelineConfig(clk.Now)
+		return c
+	}())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range bench.Rows {
+		if r.BestMS != 1 {
+			t.Errorf("row %s: best_ms = %v, want exactly 1 under the stub clock", r.key(), r.BestMS)
+		}
+	}
+}
+
+// TestPipelineRowCoverage checks the table shape: one row per prep
+// stage per workload, one list row per kernel × worker count, and
+// consistent triangle counts across all list cells of a workload.
+func TestPipelineRowCoverage(t *testing.T) {
+	clk := &stubClock{step: time.Millisecond}
+	cfg := tinyPipelineConfig(clk.Now)
+	bench, err := TablePipeline(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := 2 * (3 + len(cfg.Kernels)*len(cfg.Workers))
+	if len(bench.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d:\n%s", len(bench.Rows), wantRows, FormatPipeline(bench))
+	}
+	seen := map[string]bool{}
+	tri := map[string]int64{}
+	for _, r := range bench.Rows {
+		if seen[r.key()] {
+			t.Errorf("duplicate row %s", r.key())
+		}
+		seen[r.key()] = true
+		if r.Stage == string(obsv.StageList) {
+			if r.Triangles <= 0 {
+				t.Errorf("list row %s has %d triangles", r.key(), r.Triangles)
+			}
+			if prev, ok := tri[r.Workload]; ok && prev != r.Triangles {
+				t.Errorf("workload %s: triangle counts differ across cells (%d vs %d)",
+					r.Workload, prev, r.Triangles)
+			}
+			tri[r.Workload] = r.Triangles
+		} else if r.Kernel != "-" || r.Workers != 0 {
+			t.Errorf("prep row %s must have kernel \"-\" and workers 0", r.key())
+		}
+	}
+	for _, wl := range []string{"root", "linear"} {
+		for _, stage := range []string{"generate", "rank", "orient"} {
+			if !seen[wl+"/"+stage+"/-/w0"] {
+				t.Errorf("missing prep row %s/%s", wl, stage)
+			}
+		}
+	}
+}
+
+// TestPipelineJSONRoundTrip: Write → Read is the identity, and the
+// reader rejects wrong or missing schemas and unknown fields.
+func TestPipelineJSONRoundTrip(t *testing.T) {
+	clk := &stubClock{step: time.Millisecond}
+	bench, err := TablePipeline(tinyPipelineConfig(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePipelineJSON(&buf, bench); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPipelineJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, bench) {
+		t.Errorf("round trip changed the document:\ngot  %+v\nwant %+v", got, bench)
+	}
+
+	if _, err := ReadPipelineJSON(strings.NewReader(`{"schema":"bogus/v9","rows":[]}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, err := ReadPipelineJSON(strings.NewReader(`{"rows":[]}`)); err == nil {
+		t.Error("missing schema accepted")
+	}
+	if _, err := ReadPipelineJSON(strings.NewReader(`{"schema":"` + PipelineSchema + `","surprise":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadPipelineJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// TestComparePipelineGate exercises the baseline gate both ways:
+// identical documents pass; a slowdown beyond tolerance, a missing
+// cell, and a triangle-count drift each produce a violation.
+func TestComparePipelineGate(t *testing.T) {
+	clk := &stubClock{step: time.Millisecond}
+	base, err := TablePipeline(tinyPipelineConfig(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	copyBench := func(b *PipelineBench) *PipelineBench {
+		cp := *b
+		cp.Rows = append([]PipelineRow(nil), b.Rows...)
+		return &cp
+	}
+
+	if v := ComparePipeline(copyBench(base), base, 0.25); len(v) != 0 {
+		t.Errorf("identical run failed the gate: %v", v)
+	}
+
+	// Slowdown within tolerance passes; beyond it fails.
+	slow := copyBench(base)
+	slow.Rows[0].BestMS = base.Rows[0].BestMS * 1.2
+	if v := ComparePipeline(slow, base, 0.25); len(v) != 0 {
+		t.Errorf("20%% slowdown failed a 25%% gate: %v", v)
+	}
+	slow.Rows[0].BestMS = base.Rows[0].BestMS * 2
+	v := ComparePipeline(slow, base, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "best_ms") {
+		t.Errorf("2x slowdown not caught: %v", v)
+	}
+
+	// A baseline cell absent from the current run is a violation; an
+	// extra current cell is not.
+	missing := copyBench(base)
+	missing.Rows = missing.Rows[1:]
+	v = ComparePipeline(missing, base, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Errorf("missing cell not caught: %v", v)
+	}
+	extra := copyBench(base)
+	extra.Rows = append(extra.Rows, PipelineRow{Workload: "root", Stage: "list", Kernel: "bitmap", Workers: 8, BestMS: 1})
+	if v := ComparePipeline(extra, base, 0.25); len(v) != 0 {
+		t.Errorf("extra cell flagged: %v", v)
+	}
+
+	// Correctness drift on a list cell fails regardless of timing.
+	drift := copyBench(base)
+	for i := range drift.Rows {
+		if drift.Rows[i].Triangles != 0 {
+			drift.Rows[i].Triangles++
+			break
+		}
+	}
+	v = ComparePipeline(drift, base, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "triangles") {
+		t.Errorf("triangle drift not caught: %v", v)
+	}
+}
+
+// TestPipelineFormatAndCSV smoke-checks the two renderings.
+func TestPipelineFormatAndCSV(t *testing.T) {
+	clk := &stubClock{step: time.Millisecond}
+	bench, err := TablePipeline(tinyPipelineConfig(clk.Now))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatPipeline(bench)
+	for _, want := range []string{"generate", "rank", "orient", "list", "root", "linear", "merge"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, text)
+		}
+	}
+	var csv strings.Builder
+	if err := WritePipelineCSV(&csv, bench); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(strings.TrimSpace(csv.String()), "\n")
+	if lines != len(bench.Rows) {
+		t.Errorf("CSV has %d data lines, want %d", lines, len(bench.Rows))
+	}
+	if !strings.HasPrefix(csv.String(), "workload,stage,kernel,workers,best_ms,triangles,model_ops\n") {
+		t.Errorf("CSV header wrong:\n%s", csv.String())
+	}
+}

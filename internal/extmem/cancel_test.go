@@ -1,0 +1,92 @@
+package extmem
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestRunAlreadyCancelled: a dead context stops Run before it touches
+// the store at all.
+func TestRunAlreadyCancelled(t *testing.T) {
+	o := orientedTestGraph(t, 7, 200, 2500)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	store := NewMemStore()
+	defer store.Close()
+	res, err := Run(ctx, o, 3, store, nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if res.Triangles != 0 || res.Passes != 0 {
+		t.Fatalf("cancelled-before-start run did work: %+v", res)
+	}
+	if s := store.Stats(); s.ArcsWritten != 0 || s.ArcsRead != 0 {
+		t.Fatalf("cancelled-before-start run touched the store: %+v", s)
+	}
+}
+
+// TestRunCancelledMidTriples cancels from inside the visitor of the
+// first triple that lists a triangle: Run must stop before starting
+// another triple, report the partial count, and return ctx.Err().
+// Every triangle reported before the stop is counted exactly once.
+func TestRunCancelledMidTriples(t *testing.T) {
+	o := orientedTestGraph(t, 7, 200, 2500)
+
+	// Reference run for the full count and pass total.
+	full, err := Run(context.Background(), o, 3, NewMemStore(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Triangles == 0 {
+		t.Fatal("test graph has no triangles")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	store := NewMemStore()
+	defer store.Close()
+	var seen int64
+	res, err := Run(ctx, o, 3, store, func(x, y, z int32) {
+		seen++
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if res.Triangles != seen {
+		t.Fatalf("partial count %d != visitor calls %d", res.Triangles, seen)
+	}
+	if res.Triangles >= full.Triangles {
+		t.Fatalf("cancelled run listed all %d triangles", full.Triangles)
+	}
+	if res.Passes >= full.Passes {
+		t.Fatalf("cancelled run executed all %d passes", full.Passes)
+	}
+	// The partial result still carries the meters accumulated so far.
+	if res.IO.ArcsWritten == 0 || res.IO.BlockReads == 0 {
+		t.Fatalf("partial result missing IO meters: %+v", res.IO)
+	}
+}
+
+// TestRunCancellationGranularity: cancellation is checked between
+// triples, so a cancel during triple k completes triple k but runs no
+// further ones — Passes counts only started triples.
+func TestRunCancellationGranularity(t *testing.T) {
+	o := orientedTestGraph(t, 7, 200, 2500)
+	ctx, cancel := context.WithCancel(context.Background())
+	store := NewMemStore()
+	defer store.Close()
+	cancelled := false
+	res, err := Run(ctx, o, 3, store, func(x, y, z int32) {
+		if !cancelled {
+			cancelled = true
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if res.Passes == 0 {
+		t.Fatal("no triple started before the cancelling visitor ran")
+	}
+}

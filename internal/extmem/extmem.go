@@ -21,6 +21,7 @@
 package extmem
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -69,8 +70,18 @@ type Result struct {
 // reporting each triangle once (global relabeled IDs, x < y < z) to
 // visit, which may be nil. The store must be empty; Run writes the
 // partition blocks itself. P = 1 degenerates to a single in-memory pass.
-func Run(o *digraph.Oriented, parts int, store BlockStore, visit listing.Visitor) (Result, error) {
+//
+// Cancellation is cooperative at block-triple granularity: ctx is
+// checked before the partitioning pass and between triples, so a
+// partitioned run over a huge graph stops within one pass of the
+// signal. On cancellation the error is ctx.Err() and the Result holds
+// the triangles and meters accumulated so far — each reported to visit
+// exactly once.
+func Run(ctx context.Context, o *digraph.Oriented, parts int, store BlockStore, visit listing.Visitor) (Result, error) {
 	var res Result
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
 	n := o.NumNodes()
 	if parts < 1 {
 		return res, fmt.Errorf("extmem: need at least one partition, got %d", parts)
@@ -120,6 +131,10 @@ func Run(o *digraph.Oriented, parts int, store BlockStore, visit listing.Visitor
 	for a := 0; a < parts; a++ {
 		for b := a; b < parts; b++ {
 			for c := b; c < parts; c++ {
+				if err := ctx.Err(); err != nil {
+					res.IO = store.Stats()
+					return res, err
+				}
 				res.Passes++
 				tri, comps, err := runTriple(store, a, b, c, visit)
 				if err != nil {

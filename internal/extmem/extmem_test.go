@@ -1,6 +1,7 @@
 package extmem
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -41,7 +42,7 @@ func TestRunMatchesInMemoryAcrossPartitionCounts(t *testing.T) {
 	}
 	for _, parts := range []int{1, 2, 3, 5, 8, 200, 1000} {
 		store := NewMemStore()
-		res, err := Run(o, parts, store, nil)
+		res, err := Run(context.Background(), o, parts, store, nil)
 		if err != nil {
 			t.Fatalf("P=%d: %v", parts, err)
 		}
@@ -67,7 +68,7 @@ func TestRunTriangleSetMatches(t *testing.T) {
 	store := NewMemStore()
 	defer store.Close()
 	got := make(map[[3]int32]bool)
-	_, err := Run(o, 4, store, func(x, y, z int32) {
+	_, err := Run(context.Background(), o, 4, store, func(x, y, z int32) {
 		k := [3]int32{x, y, z}
 		if got[k] {
 			t.Errorf("triangle %v reported twice", k)
@@ -95,7 +96,7 @@ func TestIOGrowsWithPartitions(t *testing.T) {
 	var prevRead int64
 	for _, parts := range []int{1, 2, 4, 8} {
 		store := NewMemStore()
-		res, err := Run(o, parts, store, nil)
+		res, err := Run(context.Background(), o, parts, store, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -117,7 +118,7 @@ func TestFileStoreEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Run(o, 3, store, nil)
+	res, err := Run(context.Background(), o, 3, store, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,20 +177,20 @@ func TestFileStoreBinaryRoundTrip(t *testing.T) {
 
 func TestRunErrorsAndEdgeCases(t *testing.T) {
 	o := orientedTestGraph(t, 3, 10, 15)
-	if _, err := Run(o, 0, NewMemStore(), nil); err == nil {
+	if _, err := Run(context.Background(), o, 0, NewMemStore(), nil); err == nil {
 		t.Fatal("P=0 accepted")
 	}
 	// Empty graph.
 	eg, _ := graph.FromEdges(0, nil, false)
 	eo, _ := digraph.Orient(eg, nil)
-	res, err := Run(eo, 3, NewMemStore(), nil)
+	res, err := Run(context.Background(), eo, 3, NewMemStore(), nil)
 	if err != nil || res.Triangles != 0 {
 		t.Fatalf("empty graph: %+v, %v", res, err)
 	}
 	// Closed store surfaces the error.
 	st := NewMemStore()
 	st.Close()
-	if _, err := Run(o, 2, st, nil); err == nil {
+	if _, err := Run(context.Background(), o, 2, st, nil); err == nil {
 		t.Fatal("closed store accepted")
 	}
 }
@@ -216,7 +217,7 @@ func TestParetoWorkload(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer store.Close()
-	res, err := Run(o, 6, store, nil)
+	res, err := Run(context.Background(), o, 6, store, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,7 +232,7 @@ func BenchmarkExtMemPartitions(b *testing.B) {
 		b.Run(fmt.Sprintf("P=%d", parts), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				store := NewMemStore()
-				if _, err := Run(o, parts, store, nil); err != nil {
+				if _, err := Run(context.Background(), o, parts, store, nil); err != nil {
 					b.Fatal(err)
 				}
 				store.Close()

@@ -1,6 +1,7 @@
 package extmem
 
 import (
+	"context"
 	"errors"
 	"os"
 	"path/filepath"
@@ -51,7 +52,7 @@ func TestRunPropagatesAppendErrors(t *testing.T) {
 			t.Fatal("append countdown never exhausted the partition pass")
 		}
 		fs := &failStore{inner: NewMemStore(), appendsLeft: k, readsLeft: -1}
-		_, err := Run(o, 3, fs, nil)
+		_, err := Run(context.Background(), o, 3, fs, nil)
 		if err == nil {
 			if k == 0 {
 				t.Fatal("first-append fault not propagated")
@@ -73,7 +74,7 @@ func TestRunPropagatesReadErrors(t *testing.T) {
 			t.Fatal("read countdown never exhausted the triple passes")
 		}
 		fs := &failStore{inner: NewMemStore(), appendsLeft: -1, readsLeft: k}
-		_, err := Run(o, 3, fs, nil)
+		_, err := Run(context.Background(), o, 3, fs, nil)
 		if err == nil {
 			if k == 0 {
 				t.Fatal("first-read fault not propagated")

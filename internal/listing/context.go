@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"trilist/internal/digraph"
+	"trilist/internal/obsv"
 )
 
 // cancelBlock is the anchor granularity at which cancellable runs poll
@@ -26,6 +27,7 @@ type Option func(*runConfig)
 
 type runConfig struct {
 	kernel Kernel
+	rec    *obsv.Recorder
 }
 
 // WithKernel selects the intersection kernel for the run. The default
@@ -33,6 +35,16 @@ type runConfig struct {
 // same triangles in the same order and bitwise-identical Stats.
 func WithKernel(k Kernel) Option {
 	return func(c *runConfig) { c.kernel = k }
+}
+
+// WithRecorder attaches a stage recorder: the run opens one
+// obsv.StageList span covering the whole sweep (hash build included),
+// closed even when the context cancels it mid-flight. A nil recorder —
+// the default — adds zero allocations and no measurable work, and a
+// recorder never changes the triangles, their order, or any Stats
+// meter.
+func WithRecorder(r *obsv.Recorder) Option {
+	return func(c *runConfig) { c.rec = r }
 }
 
 func applyOptions(opts []Option) runConfig {
@@ -94,6 +106,8 @@ func RunCtx(ctx context.Context, o *digraph.Oriented, m Method, visit Visitor, o
 	if err := ctx.Err(); err != nil {
 		return s, err
 	}
+	sp := cfg.rec.Start(obsv.StageList)
+	defer sp.End()
 	newWorker, hashBuild := methodSweep(o, m, visit, cfg.kernel)
 	s.HashBuild = hashBuild
 	run, release := newWorker()
@@ -134,6 +148,11 @@ func RunParallelCtx(ctx context.Context, o *digraph.Oriented, m Method, workers 
 	if err := ctx.Err(); err != nil {
 		return Stats{Method: m}, err
 	}
+	// The span opens here, not before the workers<=1 delegation above:
+	// RunCtx opens its own on that path, so exactly one list span covers
+	// any run.
+	sp := cfg.rec.Start(obsv.StageList)
+	defer sp.End()
 	newWorker, hashBuild := methodSweep(o, m, visit, cfg.kernel)
 
 	// Interleaved blocks: worker w takes blocks w, w+workers, w+2·workers…

@@ -11,6 +11,7 @@ import (
 
 	"trilist/internal/core"
 	"trilist/internal/listing"
+	"trilist/internal/obsv"
 	"trilist/internal/order"
 )
 
@@ -90,6 +91,7 @@ type Job struct {
 	truncated bool
 	limitHit  bool
 	cacheHit  bool
+	stageMS   map[string]float64
 	triangles [][3]int32
 	queuedAt  time.Time
 	startedAt time.Time
@@ -121,6 +123,12 @@ type JobView struct {
 	TriangleList [][3]int32 `json:"triangle_list,omitempty"`
 	QueueMS      float64    `json:"queue_ms"`
 	ListMS       float64    `json:"list_ms"`
+	// StageMS breaks the job's wall time down by pipeline stage: "list"
+	// for every executed sweep, plus "rank" and "orient" when the job
+	// missed the orientation cache and paid preprocessing itself.
+	// Cancelled and timed-out jobs report the partial stage durations
+	// accumulated before the stop.
+	StageMS map[string]float64 `json:"stage_ms,omitempty"`
 }
 
 // View snapshots the job state for JSON rendering.
@@ -147,6 +155,12 @@ func (j *Job) View() JobView {
 		v.Limit = j.limit
 		// Copy: the sweep may still be appending to j.triangles.
 		v.TriangleList = append([][3]int32(nil), j.triangles...)
+	}
+	if len(j.stageMS) > 0 {
+		v.StageMS = make(map[string]float64, len(j.stageMS))
+		for s, ms := range j.stageMS {
+			v.StageMS[s] = ms
+		}
 	}
 	if !j.startedAt.IsZero() {
 		v.QueueMS = float64(j.startedAt.Sub(j.queuedAt)) / float64(time.Millisecond)
@@ -388,7 +402,11 @@ func (mgr *Manager) runJob(j *Job) {
 		return
 	}
 
-	o, hit, err := mgr.reg.Oriented(j.spec.Graph, j.kind, j.spec.Seed)
+	// One recorder per job: the registry records rank/orient on a cache
+	// miss, the sweep records list; the snapshot feeds both the
+	// per-stage histograms and the job's stage_ms breakdown.
+	rec := obsv.NewRecorder(obsv.WithAllocSampler(nil))
+	o, hit, err := mgr.reg.Oriented(j.spec.Graph, j.kind, j.spec.Seed, rec)
 	if err != nil {
 		mgr.fail(j, err)
 		return
@@ -416,13 +434,26 @@ func (mgr *Manager) runJob(j *Job) {
 		}
 	}
 	start := time.Now()
-	st, runErr := listing.RunParallelCtx(j.ctx, o, j.method, j.spec.Workers, visit, listing.WithKernel(j.kernel))
+	st, runErr := listing.RunParallelCtx(j.ctx, o, j.method, j.spec.Workers, visit,
+		listing.WithKernel(j.kernel), listing.WithRecorder(rec))
+
+	snap := rec.Snapshot()
+	j.mu.Lock()
+	j.stageMS = make(map[string]float64, len(snap))
+	for stage, ss := range snap {
+		j.stageMS[string(stage)] = float64(ss.Wall) / float64(time.Millisecond)
+	}
+	j.mu.Unlock()
+
 	mgr.finalize(j, st, o.MaxOutDeg(), runErr)
 	if mgr.m != nil {
 		mgr.m.jobDuration.With(j.method.String()).Observe(time.Since(start).Seconds())
 		mgr.m.kernelDuration.With(j.kernel.String()).Observe(time.Since(start).Seconds())
 		mgr.m.jobsByKernel.With(j.kernel.String()).Inc()
 		mgr.m.trianglesListed.Add(st.Triangles)
+		for stage, ss := range snap {
+			mgr.m.stageDuration.With(string(stage)).Observe(ss.Wall.Seconds())
+		}
 	}
 }
 

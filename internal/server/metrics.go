@@ -20,6 +20,7 @@ type serverMetrics struct {
 	jobDuration     *metrics.HistogramVec // labeled by listing method
 	jobsByKernel    *metrics.CounterVec   // labeled by intersection kernel
 	kernelDuration  *metrics.HistogramVec // labeled by intersection kernel
+	stageDuration   *metrics.HistogramVec // labeled by pipeline stage
 
 	cacheHits      *metrics.Counter
 	cacheMisses    *metrics.Counter
@@ -50,6 +51,9 @@ func newServerMetrics() *serverMetrics {
 			"Jobs executed per intersection kernel.", "kernel"),
 		kernelDuration: r.NewHistogramVec("trid_kernel_duration_seconds",
 			"Wall-clock sweep duration per intersection kernel.", "kernel", metrics.DefBuckets),
+		stageDuration: r.NewHistogramVec("trid_stage_duration_seconds",
+			"Wall-clock duration per pipeline stage (rank, orient on cache misses; list every job).",
+			"stage", metrics.DefBuckets),
 
 		cacheHits:      r.NewCounter("trid_graph_cache_hits_total", "Registry lookups served from a resident orientation."),
 		cacheMisses:    r.NewCounter("trid_graph_cache_misses_total", "Registry lookups that had to relabel and orient."),

@@ -7,6 +7,7 @@ import (
 
 	"trilist/internal/digraph"
 	"trilist/internal/graph"
+	"trilist/internal/obsv"
 	"trilist/internal/order"
 	"trilist/internal/stats"
 )
@@ -107,8 +108,10 @@ func (r *Registry) Get(id string) (*graph.Graph, bool) {
 // Oriented returns the relabeled, oriented CSR of graph id under the
 // given order, computing and caching it on first use. hit reports
 // whether the orientation was already resident — the cache-hit meter of
-// the serving path.
-func (r *Registry) Oriented(id string, kind order.Kind, seed uint64) (o *digraph.Oriented, hit bool, err error) {
+// the serving path. On a miss the rank and orient steps are recorded as
+// stage spans on rec (which may be nil); a hit records nothing, since
+// the job paid neither stage.
+func (r *Registry) Oriented(id string, kind order.Kind, seed uint64, rec *obsv.Recorder) (o *digraph.Oriented, hit bool, err error) {
 	if kind != order.KindUniform {
 		seed = 0
 	}
@@ -142,11 +145,15 @@ func (r *Registry) Oriented(id string, kind order.Kind, seed uint64) (o *digraph
 	if kind == order.KindUniform {
 		rng = stats.NewRNGFromSeed(seed)
 	}
+	spRank := rec.Start(obsv.StageRank)
 	rank, err := order.Rank(g, kind, rng)
+	spRank.End()
 	if err != nil {
 		return nil, false, fmt.Errorf("server: relabeling: %w", err)
 	}
+	spOrient := rec.Start(obsv.StageOrient)
 	o, err = digraph.Orient(g, rank)
+	spOrient.End()
 	if err != nil {
 		return nil, false, fmt.Errorf("server: orientation: %w", err)
 	}

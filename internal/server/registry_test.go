@@ -72,14 +72,14 @@ func TestRegistryOrientationCache(t *testing.T) {
 	r.Add("g", regTestGraph(t, 300, 2000, 7))
 	before := r.UsedBytes()
 
-	o1, hit, err := r.Oriented("g", order.KindDescending, 0)
+	o1, hit, err := r.Oriented("g", order.KindDescending, 0, nil)
 	if err != nil || hit {
 		t.Fatalf("first orientation: hit=%v err=%v", hit, err)
 	}
 	if r.UsedBytes() <= before {
 		t.Fatal("orientation bytes not accounted")
 	}
-	o2, hit, err := r.Oriented("g", order.KindDescending, 0)
+	o2, hit, err := r.Oriented("g", order.KindDescending, 0, nil)
 	if err != nil || !hit {
 		t.Fatalf("second orientation: hit=%v err=%v", hit, err)
 	}
@@ -87,21 +87,21 @@ func TestRegistryOrientationCache(t *testing.T) {
 		t.Fatal("cache returned a different orientation object")
 	}
 	// Different order kinds occupy distinct slots.
-	if _, hit, _ := r.Oriented("g", order.KindAscending, 0); hit {
+	if _, hit, _ := r.Oriented("g", order.KindAscending, 0, nil); hit {
 		t.Fatal("ascending orientation served from descending slot")
 	}
 	// Seed is normalized away for non-uniform orders...
-	if _, hit, _ := r.Oriented("g", order.KindAscending, 99); !hit {
+	if _, hit, _ := r.Oriented("g", order.KindAscending, 99, nil); !hit {
 		t.Fatal("non-uniform orders must share a slot across seeds")
 	}
 	// ...but distinguishes uniform orders.
-	if _, hit, _ := r.Oriented("g", order.KindUniform, 1); hit {
+	if _, hit, _ := r.Oriented("g", order.KindUniform, 1, nil); hit {
 		t.Fatal("uniform seed 1 unexpectedly cached")
 	}
-	if _, hit, _ := r.Oriented("g", order.KindUniform, 2); hit {
+	if _, hit, _ := r.Oriented("g", order.KindUniform, 2, nil); hit {
 		t.Fatal("uniform seeds 1 and 2 wrongly share a slot")
 	}
-	if _, hit, _ := r.Oriented("g", order.KindUniform, 1); !hit {
+	if _, hit, _ := r.Oriented("g", order.KindUniform, 1, nil); !hit {
 		t.Fatal("uniform seed 1 not cached on repeat")
 	}
 	if snaps := r.Snapshots(); len(snaps) != 1 || snaps[0].Orientations != 4 {
@@ -111,7 +111,7 @@ func TestRegistryOrientationCache(t *testing.T) {
 
 func TestRegistryOrientedUnknownGraph(t *testing.T) {
 	r := NewRegistry(1<<30, nil)
-	if _, _, err := r.Oriented("nope", order.KindDescending, 0); err == nil {
+	if _, _, err := r.Oriented("nope", order.KindDescending, 0, nil); err == nil {
 		t.Fatal("orientation of unregistered graph succeeded")
 	}
 }
