@@ -10,8 +10,9 @@
 // The default scale runs every table in minutes on a laptop while
 // preserving all qualitative conclusions; -scale paper reproduces the
 // paper's full protocol (hours). -workers parallelizes the Monte-Carlo
-// trials (default GOMAXPROCS); table output is byte-identical for every
-// worker count.
+// trials (default GOMAXPROCS), and -table pipeline also times the rank
+// and orient stages at 1 and -workers goroutines; table output is
+// byte-identical for every worker count.
 package main
 
 import (
@@ -46,7 +47,7 @@ func run(args []string, w io.Writer) error {
 	surrogate := fs.Int("surrogate", 0, "Table 12 surrogate size (overrides scale)")
 	seed := fs.Uint64("seed", 0, "root seed (overrides scale)")
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
-		"goroutines running Monte-Carlo trials; output is identical for any value")
+		"goroutines running Monte-Carlo trials and prepare stages; output is identical for any value")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
 	kernels := fs.String("kernel", "merge,gallop,bitmap,auto",
 		"comma-separated intersection kernels for -table kernels/pipeline")

@@ -7,6 +7,9 @@
 //	trid [-addr :8080] [-cache-bytes 1073741824] [-queue 64] \
 //	     [-workers 0] [-drain-timeout 30s] [-debug-addr addr]
 //
+// -workers sizes the job worker pool and also bounds the parallelism
+// of registry rank/orient rebuilds on cache misses.
+//
 // The daemon logs its listen address on startup and shuts down
 // gracefully on SIGINT/SIGTERM: new submissions get 503 while queued
 // and in-flight jobs drain, bounded by -drain-timeout (after which

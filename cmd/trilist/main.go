@@ -14,7 +14,8 @@
 // triangle set and every reported cost meter are kernel-invariant.
 // -print emits each triangle as "x y z" in relabeled IDs; omit it to
 // report only the count and cost meters. Input may be a text edge list or the binary CSR format
-// (auto-detected). -workers N parallelizes the sweep; -parts P > 1
+// (auto-detected). -workers N parallelizes the sweep and the rank and
+// orient stages (results are identical at any worker count); -parts P > 1
 // switches to the external-memory partitioned lister (ignoring -method),
 // spilling blocks to -spill (or memory if unset). -timeout bounds the
 // sweep (including partitioned runs, cancelled between block triples);
@@ -56,7 +57,7 @@ func run(args []string, out io.Writer) error {
 	kernelName := fs.String("kernel", "auto", "intersection kernel: merge, gallop, bitmap, auto")
 	print := fs.Bool("print", false, "print each triangle (relabeled IDs x y z)")
 	seed := fs.Uint64("seed", 1, "seed for the uniform order")
-	workers := fs.Int("workers", 1, "parallel listing goroutines (visitor-safe methods only)")
+	workers := fs.Int("workers", 1, "parallel goroutines for prepare and the sweep (sweep needs a visitor-safe method)")
 	parts := fs.Int("parts", 1, "external-memory partitions (>1 enables the partitioned lister)")
 	spill := fs.String("spill", "", "spill directory for -parts (default: in-memory blocks)")
 	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")

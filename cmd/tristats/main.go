@@ -14,7 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
+	"slices"
 
 	"trilist/internal/core"
 	"trilist/internal/experiments"
@@ -76,7 +76,7 @@ func run(args []string, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sort.Float64s(local)
+	slices.Sort(local)
 	if n := len(local); n > 0 {
 		fmt.Fprintf(w, "local clustering  median %.6f  p90 %.6f\n",
 			local[n/2], local[9*n/10])

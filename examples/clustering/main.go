@@ -8,7 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
-	"sort"
+	"slices"
 
 	"trilist/internal/core"
 	"trilist/internal/degseq"
@@ -61,7 +61,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		sort.Float64s(local)
+		slices.Sort(local)
 		fmt.Printf("%-28s m=%-8d global C=%.5f  median local=%.5f  p90 local=%.5f\n",
 			c.name, c.g.NumEdges(), gc, local[len(local)/2], local[9*len(local)/10])
 	}

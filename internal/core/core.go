@@ -39,8 +39,9 @@ type Config struct {
 	// Seed feeds the RNG used by KindUniform; other orders ignore it.
 	Seed uint64
 	// Workers > 1 partitions the listing sweep across that many
-	// goroutines (the visitor must then be concurrency-safe); 0 or 1
-	// runs serially. Results are identical either way.
+	// goroutines (the visitor must then be concurrency-safe) and lets
+	// Prepare parallelize the rank and orient stages; 0 or 1 runs
+	// serially. Results are bitwise identical either way.
 	Workers int
 	// Kernel selects the neighbor-intersection strategy for the sweep
 	// (listing.KernelMerge, KernelGallop, KernelBitmap, KernelAuto).
@@ -85,20 +86,23 @@ type Result struct {
 }
 
 // Prepare performs steps 1–2 of the framework: relabel g by cfg.Order and
-// orient the edges. The returned digraph can be reused across methods.
+// orient the edges, using cfg.Workers goroutines for both stages. The
+// returned digraph can be reused across methods. The rank slice is built
+// here and handed straight to digraph.OrientOwned, skipping the
+// defensive copy Orient makes for shared ranks.
 func Prepare(g *graph.Graph, cfg Config) (*digraph.Oriented, error) {
 	var rng *stats.RNG
 	if cfg.Order == order.KindUniform {
 		rng = stats.NewRNGFromSeed(cfg.Seed)
 	}
 	spRank := cfg.Recorder.Start(obsv.StageRank)
-	rank, err := order.Rank(g, cfg.Order, rng)
+	rank, err := order.Rank(g, cfg.Order, rng, order.WithWorkers(cfg.Workers))
 	spRank.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: relabeling: %w", err)
 	}
 	spOrient := cfg.Recorder.Start(obsv.StageOrient)
-	o, err := digraph.Orient(g, rank)
+	o, err := digraph.OrientOwned(g, rank, digraph.WithWorkers(cfg.Workers))
 	spOrient.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: orientation: %w", err)

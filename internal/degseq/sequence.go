@@ -1,8 +1,10 @@
 package degseq
 
 import (
+	"cmp"
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 
 	"trilist/internal/stats"
@@ -78,7 +80,7 @@ func (d Sequence) IsRootConstrained() bool {
 func (d Sequence) SortedAscending() Sequence {
 	a := make(Sequence, len(d))
 	copy(a, d)
-	sort.Slice(a, func(i, j int) bool { return a[i] < a[j] })
+	slices.Sort(a)
 	return a
 }
 
@@ -125,7 +127,7 @@ func (d Sequence) IsGraphic() bool {
 	}
 	desc := make([]int64, n)
 	copy(desc, d)
-	sort.Slice(desc, func(i, j int) bool { return desc[i] > desc[j] })
+	slices.SortFunc(desc, func(a, b int64) int { return cmp.Compare(b, a) })
 	if desc[0] > int64(n-1) || desc[n-1] < 0 {
 		return false
 	}

@@ -10,14 +10,26 @@
 // split offset per node therefore encodes the whole orientation, keeps
 // both lists "sorted ascending by node ID" as the paper assumes, and
 // costs no more memory than the undirected graph.
+//
+// The build is a sharded counting sort: a parallel degree histogram over
+// disjoint label slots, a parallel prefix sum for the offsets, a direct
+// scatter over edge-weight-balanced node ranges (each label's slot range
+// is written only while its one source node is processed, so no fill
+// cursors and no write conflicts), and a parallel per-label sort + split
+// pass. Because rank is verified to be a bijection first and every write
+// lands in a slot owned by exactly one unit of work, the output is
+// bitwise identical at every worker count — the (graph, rank) pair fully
+// determines the CSR.
 package digraph
 
 import (
+	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"trilist/internal/graph"
 	"trilist/internal/hashset"
+	"trilist/internal/par"
 )
 
 // Oriented is an acyclic orientation G(θ_n) of a simple undirected graph.
@@ -29,53 +41,168 @@ type Oriented struct {
 	rank    []int32 // rank[original] = label (retained for tracing back)
 }
 
+// Arena recycles the four Oriented buffers across builds, for callers
+// that orient many graphs of similar size in a loop (Monte-Carlo trials,
+// the trid registry's cache misses). The zero value is ready to use.
+// Hand buffers back with Put; pass the arena to Orient/OrientOwned via
+// WithArena. An Arena is not safe for concurrent use — give each worker
+// its own.
+type Arena struct {
+	offsets []int64
+	nbrs    []int32
+	split   []int64
+	rank    []int32
+}
+
+// Put recycles o's buffers into the arena for the next build. The caller
+// must not use o (or any slice obtained from it) afterwards.
+func (a *Arena) Put(o *Oriented) {
+	if o == nil {
+		return
+	}
+	a.offsets, a.nbrs, a.split, a.rank = o.offsets, o.nbrs, o.split, o.rank
+	*o = Oriented{}
+}
+
+// grow returns buf resized to n, reallocating only when capacity falls
+// short. Contents are unspecified — every build overwrites its buffers
+// in full, so no clearing pass is needed.
+func grow[T int32 | int64](buf []T, n int) []T {
+	if cap(buf) >= n {
+		return buf[:n]
+	}
+	return make([]T, n)
+}
+
+// BuildOption configures Orient/OrientOwned.
+type BuildOption func(*buildOptions)
+
+type buildOptions struct {
+	workers int
+	arena   *Arena
+}
+
+// WithWorkers sets the number of goroutines the build may use. Values
+// of 1 or less run serially on the caller's goroutine (the default);
+// the output is bitwise identical at every worker count.
+func WithWorkers(w int) BuildOption {
+	return func(o *buildOptions) { o.workers = w }
+}
+
+// WithArena builds into buffers recycled from a (see Arena). The arena's
+// buffers are consumed: a is emptied and must be refilled with Put
+// before it saves the next build an allocation.
+func WithArena(a *Arena) BuildOption {
+	return func(o *buildOptions) { o.arena = a }
+}
+
 // Orient relabels g by rank (rank[v] = new label of original node v) and
-// builds the oriented digraph. rank must be a bijection on [0, n).
-func Orient(g *graph.Graph, rank []int32) (*Oriented, error) {
+// builds the oriented digraph. rank must be a bijection on [0, n); it is
+// copied, so the caller keeps ownership.
+func Orient(g *graph.Graph, rank []int32, opts ...BuildOption) (*Oriented, error) {
+	return orient(g, rank, false, opts)
+}
+
+// OrientOwned is Orient taking ownership of rank: the orientation aliases
+// the slice instead of copying it, saving one O(n) copy per build. The
+// caller must not read or write rank afterwards.
+func OrientOwned(g *graph.Graph, rank []int32, opts ...BuildOption) (*Oriented, error) {
+	return orient(g, rank, true, opts)
+}
+
+func orient(g *graph.Graph, rank []int32, owned bool, opts []BuildOption) (*Oriented, error) {
+	var bo buildOptions
+	for _, opt := range opts {
+		opt(&bo)
+	}
+	w := max(bo.workers, 1)
+
 	n := g.NumNodes()
 	if len(rank) != n {
 		return nil, fmt.Errorf("digraph: rank length %d != n %d", len(rank), n)
 	}
-	seen := make([]bool, n)
-	for v, l := range rank {
-		if l < 0 || int(l) >= n {
-			return nil, fmt.Errorf("digraph: rank[%d] = %d out of range", v, l)
+	if err := par.CheckBijection(rank, w); err != nil {
+		var re *par.RangeError
+		if errors.As(err, &re) {
+			return nil, fmt.Errorf("digraph: rank[%d] = %d out of range", re.Index, re.Label)
 		}
-		if seen[l] {
-			return nil, fmt.Errorf("digraph: label %d assigned twice", l)
+		var de *par.DupError
+		if errors.As(err, &de) {
+			return nil, fmt.Errorf("digraph: label %d assigned twice", de.Label)
 		}
-		seen[l] = true
+		return nil, fmt.Errorf("digraph: %w", err)
 	}
-	o := &Oriented{
-		offsets: make([]int64, n+1),
-		nbrs:    make([]int32, 2*g.NumEdges()),
-		split:   make([]int64, n),
-		rank:    append([]int32(nil), rank...),
-	}
-	// Degree of each label equals degree of the original node.
-	for v := 0; v < n; v++ {
-		o.offsets[rank[v]+1] = int64(g.Degree(int32(v)))
-	}
-	for v := 0; v < n; v++ {
-		o.offsets[v+1] += o.offsets[v]
-	}
-	fill := make([]int64, n)
-	copy(fill, o.offsets[:n])
-	for v := 0; v < n; v++ {
-		lv := rank[v]
-		for _, w := range g.Neighbors(int32(v)) {
-			o.nbrs[fill[lv]] = rank[w]
-			fill[lv]++
+
+	o := &Oriented{}
+	if bo.arena != nil {
+		o.offsets = grow(bo.arena.offsets, n+1)
+		o.nbrs = grow(bo.arena.nbrs, int(2*g.NumEdges()))
+		o.split = grow(bo.arena.split, n)
+		if !owned {
+			o.rank = grow(bo.arena.rank, n)
+		}
+		*bo.arena = Arena{}
+	} else {
+		o.offsets = make([]int64, n+1)
+		o.nbrs = make([]int32, 2*g.NumEdges())
+		o.split = make([]int64, n)
+		if !owned {
+			o.rank = make([]int32, n)
 		}
 	}
-	for l := 0; l < n; l++ {
-		adj := o.nbrs[o.offsets[l]:o.offsets[l+1]]
-		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
-		// In-neighbors start at the first label greater than l.
-		k := sort.Search(len(adj), func(i int) bool { return adj[i] > int32(l) })
-		o.split[l] = o.offsets[l] + int64(k)
+	if owned {
+		o.rank = rank
+	} else {
+		copy(o.rank, rank)
 	}
+
+	// Degree histogram: the bijection guarantees the slots rank[v]+1 are
+	// all distinct, so node ranges write disjointly. Recycled buffers may
+	// be dirty — every slot including offsets[0] is overwritten.
+	o.offsets[0] = 0
+	par.Ranges(n, w, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			o.offsets[rank[v]+1] = int64(g.Degree(int32(v)))
+		}
+	})
+	par.PrefixSum(o.offsets[1:], w)
+
+	// Scatter: label rank[v]'s whole slot range [offsets[rank[v]],
+	// offsets[rank[v]+1]) is written only while processing node v, so no
+	// fill cursors are needed and writes stay disjoint across workers.
+	// Node ranges are balanced by edge weight so a few huge adjacency
+	// lists cannot serialize the pass.
+	par.WeightedRanges(g.AdjacencyOffsets(), w, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			base := o.offsets[rank[v]]
+			for i, u := range g.Neighbors(int32(v)) {
+				o.nbrs[base+int64(i)] = rank[u]
+			}
+		}
+	})
+
+	// Per-label sort + split, again balanced by edge weight. The split —
+	// where in-neighbors begin — is the insertion point of l itself
+	// (never present: no self-loops).
+	par.WeightedRanges(o.offsets, w, func(lo, hi int) {
+		for l := lo; l < hi; l++ {
+			adj := o.nbrs[o.offsets[l]:o.offsets[l+1]]
+			slices.Sort(adj)
+			k, _ := slices.BinarySearch(adj, int32(l))
+			o.split[l] = o.offsets[l] + int64(k)
+		}
+	})
 	return o, nil
+}
+
+// Equal reports whether two orientations are bitwise identical across
+// all four arrays — the invariant the parallel build guarantees against
+// the serial one.
+func (o *Oriented) Equal(p *Oriented) bool {
+	return slices.Equal(o.offsets, p.offsets) &&
+		slices.Equal(o.nbrs, p.nbrs) &&
+		slices.Equal(o.split, p.split) &&
+		slices.Equal(o.rank, p.rank)
 }
 
 // NumNodes returns n.
@@ -112,9 +239,8 @@ func (o *Oriented) Rank(v int32) int32 { return o.rank[v] }
 // HasArc reports whether the directed edge y → x (y > x) exists, by
 // binary search in N⁺(y).
 func (o *Oriented) HasArc(y, x int32) bool {
-	out := o.Out(y)
-	i := sort.Search(len(out), func(i int) bool { return out[i] >= x })
-	return i < len(out) && out[i] == x
+	_, found := slices.BinarySearch(o.Out(y), x)
+	return found
 }
 
 // ArcSet builds the hash table of all directed edges y → x that the
@@ -227,6 +353,6 @@ func (o *Oriented) Validate() error {
 }
 
 func contains(s []int32, v int32) bool {
-	i := sort.Search(len(s), func(i int) bool { return s[i] >= v })
-	return i < len(s) && s[i] == v
+	_, found := slices.BinarySearch(s, v)
+	return found
 }

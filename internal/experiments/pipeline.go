@@ -5,7 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 	"strings"
 
 	"trilist/internal/core"
@@ -33,10 +33,12 @@ import (
 const PipelineSchema = "trilist/pipeline-bench/v1"
 
 // PipelineRow is one (workload, stage, kernel, workers) measurement.
-// Preparation stages (generate, rank, orient) are kernel- and
-// worker-agnostic: their Kernel is "-" and Workers is 0. List rows
-// carry the sweep's triangle count and model cost so the baseline gate
-// also catches correctness drift, not just slowdowns.
+// The generate stage is kernel- and worker-agnostic: its Kernel is "-"
+// and Workers is 0. Rank and orient rows keep Kernel "-" but carry the
+// worker count they were built with, since the prepare pipeline
+// parallelizes too. List rows carry the sweep's triangle count and
+// model cost so the baseline gate also catches correctness drift, not
+// just slowdowns.
 type PipelineRow struct {
 	Workload  string  `json:"workload"` // truncation: root or linear
 	Stage     string  `json:"stage"`
@@ -77,7 +79,8 @@ type PipelineConfig struct {
 	// Kernels to time in the list stage; defaults to all four. Merge is
 	// always included (it is the cross-check baseline).
 	Kernels []listing.Kernel
-	// Workers are the sweep parallelism levels to time. Default {1, 4}.
+	// Workers are the parallelism levels to time, applied to the rank
+	// and orient stages as well as the sweep. Default {1, 4}.
 	Workers []int
 	// Clock, when non-nil, replaces the monotonic clock behind every
 	// stage span — tests stub it to make BestMS deterministic. The nil
@@ -124,12 +127,15 @@ func stageMS(rec *obsv.Recorder, s obsv.Stage) float64 {
 }
 
 // TablePipeline times every pipeline stage on root- and linear-truncated
-// Pareto graphs. Preparation stages are timed once per rep; the list
-// stage is timed per kernel × worker count with the E1 sweep under θ_D
-// (the paper-recommended pairing). Every (kernel, workers) cell is
-// cross-checked against the serial merge baseline — bitwise-equal Stats
-// or the run errors, so the benchmark doubles as an end-to-end
-// differential test.
+// Pareto graphs. The generate stage is timed once per rep; rank and
+// orient are timed per worker count (the prepare pipeline parallelizes
+// behind the same knob as the sweep); the list stage is timed per
+// kernel × worker count with the E1 sweep under θ_D (the
+// paper-recommended pairing). Every parallel prepare is cross-checked
+// bitwise against the first orientation built, and every
+// (kernel, workers) list cell against the serial merge baseline's
+// Stats — mismatch errors the run, so the benchmark doubles as an
+// end-to-end differential test.
 func TablePipeline(cfg PipelineConfig) (*PipelineBench, error) {
 	cfg = cfg.withDefaults()
 	p := degseq.StandardPareto(cfg.Alpha)
@@ -145,8 +151,14 @@ func TablePipeline(cfg PipelineConfig) (*PipelineBench, error) {
 		ccfg := core.Config{Method: listing.E1, Order: order.KindDescending}
 
 		// Preparation reps: regenerate and re-prepare the full front of
-		// the pipeline each rep so every stage sees a cold pass.
-		bestPrep := map[obsv.Stage]float64{}
+		// the pipeline each rep so every stage sees a cold pass, with the
+		// rank and orient stages rebuilt once per worker level.
+		type prepKey struct {
+			stage   obsv.Stage
+			workers int
+		}
+		bestGen := 0.0
+		bestPrep := map[prepKey]float64{}
 		var oriented *digraph.Oriented
 		for r := 0; r < cfg.Reps; r++ {
 			rec := obsv.NewRecorder(cfg.recorderOpts()...)
@@ -156,25 +168,43 @@ func TablePipeline(cfg PipelineConfig) (*PipelineBench, error) {
 			if err != nil {
 				return nil, err
 			}
-			pcfg := ccfg
-			pcfg.Recorder = rec
-			od, err := core.Prepare(g, pcfg)
-			if err != nil {
-				return nil, err
+			if ms := stageMS(rec, obsv.StageGenerate); r == 0 || ms < bestGen {
+				bestGen = ms
 			}
-			oriented = od
-			for _, s := range []obsv.Stage{obsv.StageGenerate, obsv.StageRank, obsv.StageOrient} {
-				ms := stageMS(rec, s)
-				if best, ok := bestPrep[s]; !ok || ms < best {
-					bestPrep[s] = ms
+			for _, workers := range cfg.Workers {
+				wrec := obsv.NewRecorder(cfg.recorderOpts()...)
+				pcfg := ccfg
+				pcfg.Workers = workers
+				pcfg.Recorder = wrec
+				od, err := core.Prepare(g, pcfg)
+				if err != nil {
+					return nil, err
+				}
+				if oriented == nil {
+					oriented = od
+				} else if !od.Equal(oriented) {
+					return nil, fmt.Errorf("experiments: pipeline prepare workers=%d diverged on %s", workers, workload)
+				}
+				for _, s := range []obsv.Stage{obsv.StageRank, obsv.StageOrient} {
+					k := prepKey{stage: s, workers: workers}
+					ms := stageMS(wrec, s)
+					if best, ok := bestPrep[k]; !ok || ms < best {
+						bestPrep[k] = ms
+					}
 				}
 			}
 		}
-		for _, s := range []obsv.Stage{obsv.StageGenerate, obsv.StageRank, obsv.StageOrient} {
-			bench.Rows = append(bench.Rows, PipelineRow{
-				Workload: workload, Stage: string(s), Kernel: "-", Workers: 0,
-				BestMS: bestPrep[s],
-			})
+		bench.Rows = append(bench.Rows, PipelineRow{
+			Workload: workload, Stage: string(obsv.StageGenerate), Kernel: "-", Workers: 0,
+			BestMS: bestGen,
+		})
+		for _, workers := range cfg.Workers {
+			for _, s := range []obsv.Stage{obsv.StageRank, obsv.StageOrient} {
+				bench.Rows = append(bench.Rows, PipelineRow{
+					Workload: workload, Stage: string(s), Kernel: "-", Workers: workers,
+					BestMS: bestPrep[prepKey{stage: s, workers: workers}],
+				})
+			}
 		}
 
 		// List reps: same prepared orientation, per kernel × workers.
@@ -298,6 +328,6 @@ func ComparePipeline(cur, base *PipelineBench, tol float64) []string {
 				b.key(), c.BestMS, b.BestMS, tol*100))
 		}
 	}
-	sort.Strings(out)
+	slices.Sort(out)
 	return out
 }

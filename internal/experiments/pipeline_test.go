@@ -2,7 +2,9 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"reflect"
+	"slices"
 	"strings"
 	"sync"
 	"testing"
@@ -73,9 +75,10 @@ func TestPipelineDeterministicWithFakeClock(t *testing.T) {
 	}
 }
 
-// TestPipelineRowCoverage checks the table shape: one row per prep
-// stage per workload, one list row per kernel × worker count, and
-// consistent triangle counts across all list cells of a workload.
+// TestPipelineRowCoverage checks the table shape: one generate row per
+// workload, one rank and one orient row per worker count, one list row
+// per kernel × worker count, and consistent triangle counts across all
+// list cells of a workload.
 func TestPipelineRowCoverage(t *testing.T) {
 	clk := &stubClock{step: time.Millisecond}
 	cfg := tinyPipelineConfig(clk.Now)
@@ -83,7 +86,7 @@ func TestPipelineRowCoverage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantRows := 2 * (3 + len(cfg.Kernels)*len(cfg.Workers))
+	wantRows := 2 * (1 + 2*len(cfg.Workers) + len(cfg.Kernels)*len(cfg.Workers))
 	if len(bench.Rows) != wantRows {
 		t.Fatalf("got %d rows, want %d:\n%s", len(bench.Rows), wantRows, FormatPipeline(bench))
 	}
@@ -94,7 +97,8 @@ func TestPipelineRowCoverage(t *testing.T) {
 			t.Errorf("duplicate row %s", r.key())
 		}
 		seen[r.key()] = true
-		if r.Stage == string(obsv.StageList) {
+		switch r.Stage {
+		case string(obsv.StageList):
 			if r.Triangles <= 0 {
 				t.Errorf("list row %s has %d triangles", r.key(), r.Triangles)
 			}
@@ -103,14 +107,28 @@ func TestPipelineRowCoverage(t *testing.T) {
 					r.Workload, prev, r.Triangles)
 			}
 			tri[r.Workload] = r.Triangles
-		} else if r.Kernel != "-" || r.Workers != 0 {
-			t.Errorf("prep row %s must have kernel \"-\" and workers 0", r.key())
+		case string(obsv.StageGenerate):
+			if r.Kernel != "-" || r.Workers != 0 {
+				t.Errorf("generate row %s must have kernel \"-\" and workers 0", r.key())
+			}
+		default: // rank, orient
+			if r.Kernel != "-" {
+				t.Errorf("prep row %s must have kernel \"-\"", r.key())
+			}
+			if !slices.Contains(cfg.Workers, r.Workers) {
+				t.Errorf("prep row %s has worker count outside %v", r.key(), cfg.Workers)
+			}
 		}
 	}
 	for _, wl := range []string{"root", "linear"} {
-		for _, stage := range []string{"generate", "rank", "orient"} {
-			if !seen[wl+"/"+stage+"/-/w0"] {
-				t.Errorf("missing prep row %s/%s", wl, stage)
+		if !seen[wl+"/generate/-/w0"] {
+			t.Errorf("missing generate row for %s", wl)
+		}
+		for _, stage := range []string{"rank", "orient"} {
+			for _, w := range cfg.Workers {
+				if !seen[fmt.Sprintf("%s/%s/-/w%d", wl, stage, w)] {
+					t.Errorf("missing prep row %s/%s at %d workers", wl, stage, w)
+				}
 			}
 		}
 	}

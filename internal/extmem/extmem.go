@@ -23,7 +23,7 @@ package extmem
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
 
 	"trilist/internal/digraph"
 	"trilist/internal/listing"
@@ -158,7 +158,7 @@ func groupByY(arcs []Arc) adjacency {
 		m[a.Y] = append(m[a.Y], a.X)
 	}
 	for _, l := range m {
-		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
+		slices.Sort(l)
 	}
 	return m
 }

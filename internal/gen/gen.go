@@ -24,7 +24,8 @@ package gen
 import (
 	"fmt"
 	"math"
-	"sort"
+	"cmp"
+	"slices"
 
 	"trilist/internal/degseq"
 	"trilist/internal/fenwick"
@@ -87,11 +88,13 @@ func ResidualDegree(d degseq.Sequence, rng *stats.RNG) (*graph.Graph, Report, er
 	for i := range order {
 		order[i] = int32(i)
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if d[order[a]] != d[order[b]] {
-			return d[order[a]] > d[order[b]]
+	// (degree desc, id asc) is a total order over distinct ids: the
+	// unstable sort is deterministic, keeping generated graphs stable.
+	slices.SortFunc(order, func(a, b int32) int {
+		if c := cmp.Compare(d[b], d[a]); c != 0 {
+			return c
 		}
-		return order[a] < order[b]
+		return cmp.Compare(a, b)
 	})
 
 	for _, i := range order {
@@ -219,11 +222,11 @@ func ChungLu(d degseq.Sequence, rng *stats.RNG) (*graph.Graph, Report, error) {
 	for i := range idx {
 		idx[i] = int32(i)
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		if d[idx[a]] != d[idx[b]] {
-			return d[idx[a]] > d[idx[b]]
+	slices.SortFunc(idx, func(a, b int32) int {
+		if c := cmp.Compare(d[b], d[a]); c != 0 {
+			return c
 		}
-		return idx[a] < idx[b]
+		return cmp.Compare(a, b)
 	})
 	w := make([]float64, n)
 	for r, i := range idx {

@@ -12,7 +12,7 @@ package graph
 import (
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // Edge is an undirected edge between two node IDs.
@@ -48,6 +48,13 @@ func (g *Graph) Degree(v int32) int {
 func (g *Graph) Neighbors(v int32) []int32 {
 	return g.nbrs[g.offsets[v]:g.offsets[v+1]]
 }
+
+// AdjacencyOffsets returns the CSR offset array: len n+1, with node v's
+// adjacency spanning [offsets[v], offsets[v+1]). It doubles as the
+// cumulative degree sequence, which lets parallel builders split nodes
+// into ranges of near-equal edge weight. The returned slice aliases the
+// graph's internal storage and must not be modified.
+func (g *Graph) AdjacencyOffsets() []int64 { return g.offsets }
 
 // Degrees returns the degree of every node as a fresh slice.
 func (g *Graph) Degrees() []int64 {
@@ -87,8 +94,8 @@ func (g *Graph) HasEdge(u, v int32) bool {
 		u, v = v, u
 	}
 	a := g.Neighbors(u)
-	i := sort.Search(len(a), func(i int) bool { return a[i] >= v })
-	return i < len(a) && a[i] == v
+	_, found := slices.BinarySearch(a, v)
+	return found
 }
 
 // Edges calls fn once for every undirected edge with U < V. Iteration is
@@ -196,8 +203,7 @@ func FromEdges(n int, edges []Edge, dedupe bool) (*Graph, error) {
 	}
 	g := &Graph{offsets: offsets, nbrs: nbrs}
 	for v := 0; v < n; v++ {
-		adj := nbrs[offsets[v]:offsets[v+1]]
-		sort.Slice(adj, func(i, j int) bool { return adj[i] < adj[j] })
+		slices.Sort(nbrs[offsets[v]:offsets[v+1]])
 	}
 	// Detect (and optionally collapse) duplicates.
 	dups := int64(0)

@@ -1,7 +1,8 @@
 package listing
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"trilist/internal/graph"
 	"trilist/internal/hashset"
@@ -123,12 +124,13 @@ func ChibaNishizeki(g *graph.Graph, visit Visitor) BaselineStats {
 	for i := range orderNodes {
 		orderNodes[i] = int32(i)
 	}
-	sort.SliceStable(orderNodes, func(a, b int) bool {
-		da, db := g.Degree(orderNodes[a]), g.Degree(orderNodes[b])
-		if da != db {
-			return da > db
+	// (degree desc, id asc) is a total order over distinct ids, so the
+	// unstable sort reproduces the former stable one exactly.
+	slices.SortFunc(orderNodes, func(a, b int32) int {
+		if c := cmp.Compare(g.Degree(b), g.Degree(a)); c != 0 {
+			return c
 		}
-		return orderNodes[a] < orderNodes[b]
+		return cmp.Compare(a, b)
 	})
 	deleted := make([]bool, n)
 	marked := make([]bool, n)
@@ -183,12 +185,11 @@ func Forward(g *graph.Graph, visit Visitor) BaselineStats {
 	for i := range byDeg {
 		byDeg[i] = int32(i)
 	}
-	sort.SliceStable(byDeg, func(a, b int) bool {
-		da, db := g.Degree(byDeg[a]), g.Degree(byDeg[b])
-		if da != db {
-			return da > db
+	slices.SortFunc(byDeg, func(a, b int32) int {
+		if c := cmp.Compare(g.Degree(b), g.Degree(a)); c != 0 {
+			return c
 		}
-		return byDeg[a] < byDeg[b]
+		return cmp.Compare(a, b)
 	})
 	eta := make([]int32, n)
 	for pos, v := range byDeg {
@@ -233,12 +234,11 @@ func CompactForward(g *graph.Graph, visit Visitor) BaselineStats {
 	for i := range byDeg {
 		byDeg[i] = int32(i)
 	}
-	sort.SliceStable(byDeg, func(x, y int) bool {
-		dx, dy := g.Degree(byDeg[x]), g.Degree(byDeg[y])
-		if dx != dy {
-			return dx > dy
+	slices.SortFunc(byDeg, func(x, y int32) int {
+		if c := cmp.Compare(g.Degree(y), g.Degree(x)); c != 0 {
+			return c
 		}
-		return byDeg[x] < byDeg[y]
+		return cmp.Compare(x, y)
 	})
 	label := make([]int32, n)
 	for pos, v := range byDeg {
@@ -256,7 +256,7 @@ func CompactForward(g *graph.Graph, visit Visitor) BaselineStats {
 		}
 	}
 	for v := range out {
-		sort.Slice(out[v], func(i, j int) bool { return out[v][i] < out[v][j] })
+		slices.Sort(out[v])
 	}
 	inv := byDeg // inv[label] = original node
 	// E2 sweep: visit y, intersect N⁺(y) with N⁺(z) prefix below y for

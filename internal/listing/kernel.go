@@ -2,7 +2,7 @@ package listing
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 
@@ -153,7 +153,11 @@ func (a *arena) member(v int32) bool { return a.epoch[v] == a.cur }
 
 // upperBound returns the number of elements <= v in an ascending list.
 func upperBound(list []int32, v int32) int {
-	return sort.Search(len(list), func(i int) bool { return list[i] > v })
+	k, found := slices.BinarySearch(list, v)
+	if found {
+		k++
+	}
+	return k
 }
 
 // mergeComps returns, in O(log) time, the exact number of pointer

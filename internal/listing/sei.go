@@ -1,7 +1,7 @@
 package listing
 
 import (
-	"sort"
+	"slices"
 
 	"trilist/internal/digraph"
 )
@@ -34,13 +34,16 @@ func intersect(a, b []int32, visit func(int32)) int64 {
 
 // prefixBelow returns the prefix of the ascending list with elements < v.
 func prefixBelow(list []int32, v int32) []int32 {
-	k := sort.Search(len(list), func(i int) bool { return list[i] >= v })
+	k, _ := slices.BinarySearch(list, v)
 	return list[:k]
 }
 
 // suffixAbove returns the suffix of the ascending list with elements > v.
 func suffixAbove(list []int32, v int32) []int32 {
-	k := sort.Search(len(list), func(i int) bool { return list[i] > v })
+	k, found := slices.BinarySearch(list, v)
+	if found {
+		k++
+	}
 	return list[k:]
 }
 

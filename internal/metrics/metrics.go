@@ -16,7 +16,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sort"
+	"slices"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -67,13 +67,13 @@ type Histogram struct {
 
 func newHistogram(bounds []float64) *Histogram {
 	b := append([]float64(nil), bounds...)
-	sort.Float64s(b)
+	slices.Sort(b)
 	return &Histogram{bounds: b, counts: make([]atomic.Int64, len(b)+1)}
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
-	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	i, _ := slices.BinarySearch(h.bounds, v) // first bound >= v
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
@@ -218,7 +218,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	r.mu.Lock()
 	fams := append([]*family(nil), r.order...)
 	r.mu.Unlock()
-	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	slices.SortFunc(fams, func(a, b *family) int { return strings.Compare(a.name, b.name) })
 	for _, f := range fams {
 		if err := f.write(w); err != nil {
 			return err
@@ -233,7 +233,7 @@ func (f *family) write(w io.Writer) error {
 	for v := range f.series {
 		values = append(values, v)
 	}
-	sort.Strings(values)
+	slices.Sort(values)
 	series := make([]any, len(values))
 	for i, v := range values {
 		series[i] = f.series[v]

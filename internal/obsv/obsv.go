@@ -21,7 +21,7 @@ package obsv
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -229,7 +229,7 @@ func (r *Recorder) Stages() []Stage {
 			rest = append(rest, s)
 		}
 	}
-	sort.Slice(rest, func(i, j int) bool { return rest[i] < rest[j] })
+	slices.Sort(rest)
 	return append(out, rest...)
 }
 

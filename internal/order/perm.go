@@ -22,12 +22,31 @@
 package order
 
 import (
+	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"trilist/internal/graph"
+	"trilist/internal/par"
 	"trilist/internal/stats"
 )
+
+// RankOption configures Rank/RankFromPerm.
+type RankOption func(*rankOptions)
+
+type rankOptions struct {
+	workers int
+}
+
+// WithWorkers sets the number of goroutines the rank construction may
+// use for its per-node work (degree bucketing, permutation validation,
+// the position → rank scatter). Values of 1 or less run serially (the
+// default); the resulting rank is bitwise identical at every worker
+// count. KindDegenerate ignores it: the Matula–Beck peel is inherently
+// sequential.
+func WithWorkers(w int) RankOption {
+	return func(o *rankOptions) { o.workers = w }
+}
 
 // Perm is a permutation θ over positions 0..n-1: Perm[i] is the new label
 // of the node occupying position i of the ascending-degree order.
@@ -35,18 +54,22 @@ type Perm []int32
 
 // Validate reports an error unless the permutation is a bijection on
 // [0, n).
-func (p Perm) Validate() error {
-	seen := make([]bool, len(p))
-	for i, v := range p {
-		if v < 0 || int(v) >= len(p) {
-			return fmt.Errorf("order: perm[%d] = %d out of range [0,%d)", i, v, len(p))
-		}
-		if seen[v] {
-			return fmt.Errorf("order: label %d assigned twice", v)
-		}
-		seen[v] = true
+func (p Perm) Validate() error { return p.validate(1) }
+
+func (p Perm) validate(workers int) error {
+	err := par.CheckBijection(p, workers)
+	if err == nil {
+		return nil
 	}
-	return nil
+	var re *par.RangeError
+	if errors.As(err, &re) {
+		return fmt.Errorf("order: perm[%d] = %d out of range [0,%d)", re.Index, re.Label, len(p))
+	}
+	var de *par.DupError
+	if errors.As(err, &de) {
+		return fmt.Errorf("order: label %d assigned twice", de.Label)
+	}
+	return fmt.Errorf("order: %w", err)
 }
 
 // Inverse returns the inverse permutation: Inverse()[label] = position.
@@ -147,10 +170,29 @@ func Opt(n int, h func(float64) float64, rIncreasing bool) Perm {
 	for i := 0; i < n; i++ {
 		z[i] = kv{key: h(float64(i+1) / float64(n)), index: int32(i)}
 	}
+	// Three-way comparators mirror the former sort.SliceStable booleans
+	// exactly, NaN keys included (every NaN comparison yields 0, so
+	// stability keeps them in place), preserving golden outputs.
 	if rIncreasing {
-		sort.SliceStable(z, func(a, b int) bool { return z[a].key > z[b].key })
+		slices.SortStableFunc(z, func(a, b kv) int {
+			switch {
+			case a.key > b.key:
+				return -1
+			case b.key > a.key:
+				return 1
+			}
+			return 0
+		})
 	} else {
-		sort.SliceStable(z, func(a, b int) bool { return z[a].key < z[b].key })
+		slices.SortStableFunc(z, func(a, b kv) int {
+			switch {
+			case a.key < b.key:
+				return -1
+			case b.key < a.key:
+				return 1
+			}
+			return 0
+		})
 	}
 	p := make(Perm, n)
 	for i := range z {
@@ -227,18 +269,60 @@ func (k Kind) ShortName() string {
 // (degree, node ID): position p holds the node occupying slot p of the
 // paper's order-statistics vector A_n. Degree ties break by ID so results
 // are deterministic.
-func ascendingDegreePositions(g *graph.Graph) []int32 {
+//
+// (degree, id) is a total order with degrees bounded by maxDeg, so a
+// counting sort placing ascending node ids into per-degree buckets
+// produces it in O(n + maxDeg) with no comparator calls. The parallel
+// variant gives each id-range shard its own histogram and scans the
+// cursors in (degree-major, shard-minor) order, which preserves the id
+// tie-break exactly: shards cover ascending id ranges.
+func ascendingDegreePositions(g *graph.Graph, workers int) []int32 {
 	n := g.NumNodes()
 	nodes := make([]int32, n)
-	for i := range nodes {
-		nodes[i] = int32(i)
+	if n == 0 {
+		return nodes
 	}
-	sort.SliceStable(nodes, func(a, b int) bool {
-		da, db := g.Degree(nodes[a]), g.Degree(nodes[b])
-		if da != db {
-			return da < db
+	maxDeg := g.MaxDegree()
+	p := par.ShardCount(n, workers)
+	if p > 1 && (maxDeg+1)*p > 8*n {
+		p = 1 // per-shard histograms would dwarf the input itself
+	}
+	if p == 1 {
+		count := make([]int64, maxDeg+2)
+		for v := 0; v < n; v++ {
+			count[g.Degree(int32(v))+1]++
 		}
-		return nodes[a] < nodes[b]
+		for d := 1; d < len(count); d++ {
+			count[d] += count[d-1]
+		}
+		for v := 0; v < n; v++ {
+			d := g.Degree(int32(v))
+			nodes[count[d]] = int32(v)
+			count[d]++
+		}
+		return nodes
+	}
+	counts := make([][]int64, p)
+	par.Shards(n, p, func(s, lo, hi int) {
+		c := make([]int64, maxDeg+1)
+		for v := lo; v < hi; v++ {
+			c[g.Degree(int32(v))]++
+		}
+		counts[s] = c
+	})
+	var cursor int64
+	for d := 0; d <= maxDeg; d++ {
+		for s := 0; s < p; s++ {
+			counts[s][d], cursor = cursor, cursor+counts[s][d]
+		}
+	}
+	par.Shards(n, p, func(s, lo, hi int) {
+		c := counts[s]
+		for v := lo; v < hi; v++ {
+			d := g.Degree(int32(v))
+			nodes[c[d]] = int32(v)
+			c[d]++
+		}
 	})
 	return nodes
 }
@@ -248,13 +332,16 @@ func ascendingDegreePositions(g *graph.Graph) []int32 {
 // the ascending-degree position of each node; KindUniform draws the
 // bijection from rng (which must be non-nil for that kind); and
 // KindDegenerate runs Matula–Beck smallest-last on the graph structure.
-func Rank(g *graph.Graph, k Kind, rng *stats.RNG) ([]int32, error) {
+// The result is bitwise identical at every WithWorkers setting.
+func Rank(g *graph.Graph, k Kind, rng *stats.RNG, opts ...RankOption) ([]int32, error) {
 	n := g.NumNodes()
 	switch k {
 	case KindUniform:
 		if rng == nil {
 			return nil, fmt.Errorf("order: uniform order requires an RNG")
 		}
+		// The bijection is drawn serially so the RNG stream — and thus the
+		// rank — never depends on the worker count.
 		rank := make([]int32, n)
 		for v, label := range rng.Perm(n) {
 			rank[v] = int32(label)
@@ -276,23 +363,32 @@ func Rank(g *graph.Graph, k Kind, rng *stats.RNG) ([]int32, error) {
 	default:
 		return nil, fmt.Errorf("order: unknown kind %v", k)
 	}
-	return RankFromPerm(g, p)
+	return RankFromPerm(g, p, opts...)
 }
 
 // RankFromPerm applies an arbitrary permutation θ to the ascending-degree
 // positions of g's nodes: rank[v] = θ(position of v in A_n).
-func RankFromPerm(g *graph.Graph, p Perm) ([]int32, error) {
+func RankFromPerm(g *graph.Graph, p Perm, opts ...RankOption) ([]int32, error) {
+	var ro rankOptions
+	for _, opt := range opts {
+		opt(&ro)
+	}
+	w := max(ro.workers, 1)
 	if len(p) != g.NumNodes() {
 		return nil, fmt.Errorf("order: perm length %d != n %d", len(p), g.NumNodes())
 	}
-	if err := p.Validate(); err != nil {
+	if err := p.validate(w); err != nil {
 		return nil, err
 	}
-	pos := ascendingDegreePositions(g)
+	pos := ascendingDegreePositions(g, w)
 	rank := make([]int32, len(p))
-	for i, v := range pos {
-		rank[v] = p[i]
-	}
+	// pos is a permutation of the nodes, so the scatter's writes are
+	// disjoint across position ranges.
+	par.Ranges(len(p), w, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			rank[pos[i]] = p[i]
+		}
+	})
 	return rank, nil
 }
 

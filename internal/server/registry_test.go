@@ -1,8 +1,10 @@
 package server
 
 import (
+	"sync"
 	"testing"
 
+	"trilist/internal/digraph"
 	"trilist/internal/gen"
 	"trilist/internal/graph"
 	"trilist/internal/order"
@@ -23,7 +25,7 @@ func TestRegistryEvictsLRUUnderByteBudget(t *testing.T) {
 	g2 := regTestGraph(t, 200, 1000, 2)
 	g3 := regTestGraph(t, 200, 1000, 3)
 	// Budget holds exactly two resident graphs.
-	r := NewRegistry(2*graphBytes(g1)+16, nil)
+	r := NewRegistry(2*graphBytes(g1)+16, 1, nil)
 
 	r.Add("g1", g1)
 	r.Add("g2", g2)
@@ -52,7 +54,7 @@ func TestRegistryEvictsLRUUnderByteBudget(t *testing.T) {
 func TestRegistryNeverEvictsMostRecent(t *testing.T) {
 	g := regTestGraph(t, 500, 5000, 1)
 	// Budget far below one graph: the sole entry must still serve.
-	r := NewRegistry(16, nil)
+	r := NewRegistry(16, 1, nil)
 	r.Add("big", g)
 	if _, ok := r.Get("big"); !ok {
 		t.Fatal("over-budget sole graph was evicted")
@@ -68,7 +70,7 @@ func TestRegistryNeverEvictsMostRecent(t *testing.T) {
 }
 
 func TestRegistryOrientationCache(t *testing.T) {
-	r := NewRegistry(1<<30, nil)
+	r := NewRegistry(1<<30, 1, nil)
 	r.Add("g", regTestGraph(t, 300, 2000, 7))
 	before := r.UsedBytes()
 
@@ -110,7 +112,7 @@ func TestRegistryOrientationCache(t *testing.T) {
 }
 
 func TestRegistryOrientedUnknownGraph(t *testing.T) {
-	r := NewRegistry(1<<30, nil)
+	r := NewRegistry(1<<30, 1, nil)
 	if _, _, err := r.Oriented("nope", order.KindDescending, 0, nil); err == nil {
 		t.Fatal("orientation of unregistered graph succeeded")
 	}
@@ -119,7 +121,7 @@ func TestRegistryOrientedUnknownGraph(t *testing.T) {
 func TestRegistryReAddRefreshesRecency(t *testing.T) {
 	g1 := regTestGraph(t, 200, 1000, 1)
 	g2 := regTestGraph(t, 200, 1000, 2)
-	r := NewRegistry(2*graphBytes(g1)+16, nil)
+	r := NewRegistry(2*graphBytes(g1)+16, 1, nil)
 	if !r.Add("g1", g1) {
 		t.Fatal("first Add returned false")
 	}
@@ -134,5 +136,72 @@ func TestRegistryReAddRefreshesRecency(t *testing.T) {
 	}
 	if _, ok := r.Get("g2"); ok {
 		t.Fatal("g2 survived eviction")
+	}
+}
+
+// TestRegistryParallelBuildMatchesSerial: registry rebuilds with a
+// multi-worker budget cache the same orientation bytes as a serial
+// registry — the worker knob must never leak into cached results.
+func TestRegistryParallelBuildMatchesSerial(t *testing.T) {
+	g := regTestGraph(t, 400, 3000, 11)
+	serial := NewRegistry(1<<30, 1, nil)
+	parallel := NewRegistry(1<<30, 8, nil)
+	serial.Add("g", g)
+	parallel.Add("g", g)
+	for _, kind := range order.Kinds {
+		os, _, err := serial.Oriented("g", kind, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		op, _, err := parallel.Oriented("g", kind, 3, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !op.Equal(os) {
+			t.Fatalf("kind %v: parallel registry build differs from serial", kind)
+		}
+	}
+}
+
+// TestRegistryRecyclesDuplicateBuilds: when concurrent cache misses
+// race on one key, every loser's buffers land in the bounded arena
+// pool and all callers get the single cached orientation.
+func TestRegistryRecyclesDuplicateBuilds(t *testing.T) {
+	g := regTestGraph(t, 300, 2000, 13)
+	r := NewRegistry(1<<30, 2, nil)
+	r.Add("g", g)
+	const racers = 8
+	results := make([]*digraph.Oriented, racers)
+	var wg sync.WaitGroup
+	for i := 0; i < racers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			o, _, err := r.Oriented("g", order.KindDescending, 0, nil)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = o
+		}(i)
+	}
+	wg.Wait()
+	cached, hit, err := r.Oriented("g", order.KindDescending, 0, nil)
+	if err != nil || !hit {
+		t.Fatalf("post-race lookup: hit=%v err=%v", hit, err)
+	}
+	for i, o := range results {
+		if o != cached {
+			t.Fatalf("racer %d got a non-cached orientation", i)
+		}
+	}
+	r.mu.Lock()
+	pooled := len(r.arenas)
+	r.mu.Unlock()
+	if pooled > maxPooledArenas {
+		t.Fatalf("arena pool holds %d arenas, cap is %d", pooled, maxPooledArenas)
+	}
+	if snaps := r.Snapshots(); len(snaps) != 1 || snaps[0].Orientations != 1 {
+		t.Fatalf("snapshot = %+v, want 1 graph with 1 orientation", snaps)
 	}
 }

@@ -46,7 +46,9 @@ type Options struct {
 	// QueueDepth bounds the job queue; submissions beyond it get 503.
 	// Default 64.
 	QueueDepth int
-	// Workers is the job worker pool size. Default GOMAXPROCS.
+	// Workers is the job worker pool size; it also bounds the
+	// parallelism of registry rank/orient rebuilds on cache misses.
+	// Default GOMAXPROCS.
 	Workers int
 	// DefaultListLimit is the triangle quota of list jobs that omit
 	// limit. Default 1000.
@@ -90,7 +92,7 @@ type Server struct {
 func New(opts Options) *Server {
 	opts = opts.withDefaults()
 	m := newServerMetrics()
-	reg := NewRegistry(opts.CacheBytes, m)
+	reg := NewRegistry(opts.CacheBytes, opts.Workers, m)
 	s := &Server{
 		opts:    opts,
 		metrics: m,

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 )
 
@@ -147,7 +148,7 @@ type ECDF struct {
 func NewECDF(obs []float64) *ECDF {
 	s := make([]float64, len(obs))
 	copy(s, obs)
-	sort.Float64s(s)
+	slices.Sort(s)
 	return &ECDF{sorted: s}
 }
 
