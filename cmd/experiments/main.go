@@ -297,6 +297,10 @@ func run(args []string, w io.Writer) error {
 			if err != nil {
 				return err
 			}
+			if !experiments.ComparablePipelineHosts(bench, base) {
+				fmt.Fprintf(w, "note: baseline host shape unknown or different (baseline %d CPU / GOMAXPROCS %d, current %d/%d); multi-worker timing comparisons skipped\n",
+					base.NumCPU, base.GoMaxProcs, bench.NumCPU, bench.GoMaxProcs)
+			}
 			if violations := experiments.ComparePipeline(bench, base, *tolerance); len(violations) > 0 {
 				for _, v := range violations {
 					fmt.Fprintln(w, "REGRESSION:", v)

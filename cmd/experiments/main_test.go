@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"trilist/internal/experiments"
 )
 
 func tinyArgs(table string) []string {
@@ -130,8 +132,13 @@ func TestExperimentsPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !strings.Contains(string(data), `"schema": "trilist/pipeline-bench/v1"`) {
+	if !strings.Contains(string(data), `"schema": "`+experiments.PipelineSchema+`"`) {
 		t.Fatalf("bench JSON missing schema:\n%s", data)
+	}
+	// Schema v2 stamps the recording host; the gate checks below rely on
+	// it (rewritten baselines keep the same host, so timing rows gate).
+	if !strings.Contains(string(data), `"num_cpu"`) || !strings.Contains(string(data), `"gomaxprocs"`) {
+		t.Fatalf("bench JSON missing host shape:\n%s", data)
 	}
 	if _, err := os.ReadFile(filepath.Join(dir, "pipeline.csv")); err != nil {
 		t.Fatal(err)
@@ -164,6 +171,21 @@ func TestExperimentsPipeline(t *testing.T) {
 	if !strings.Contains(out.String(), "REGRESSION:") {
 		t.Fatalf("missing regression lines:\n%s", out.String())
 	}
+
+	// Foreign-host baseline: impossible timings on the multi-worker rows
+	// only, recorded on a "different" host — those rows are exempt from
+	// the timing gate, so the run passes and says why.
+	foreign := filepath.Join(dir, "foreign.json")
+	if err := os.WriteFile(foreign, rewriteForeignHost(t, data, 1e-9), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if err := run(pipelineArgs(benchOut, "-baseline", foreign), &out); err != nil {
+		t.Fatalf("gate against foreign-host baseline failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "multi-worker timing comparisons skipped") {
+		t.Fatalf("missing host-mismatch note:\n%s", out.String())
+	}
 }
 
 // rewriteBestMS sets every row's best_ms in a bench JSON document.
@@ -175,6 +197,28 @@ func rewriteBestMS(t *testing.T, data []byte, ms float64) []byte {
 	}
 	for _, r := range doc["rows"].([]any) {
 		r.(map[string]any)["best_ms"] = ms
+	}
+	out, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// rewriteForeignHost bumps the document's num_cpu (a different host
+// shape) and sets best_ms on multi-worker rows only.
+func rewriteForeignHost(t *testing.T, data []byte, ms float64) []byte {
+	t.Helper()
+	var doc map[string]any
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatal(err)
+	}
+	doc["num_cpu"] = doc["num_cpu"].(float64) + 7
+	for _, r := range doc["rows"].([]any) {
+		row := r.(map[string]any)
+		if row["workers"].(float64) > 1 {
+			row["best_ms"] = ms
+		}
 	}
 	out, err := json.Marshal(doc)
 	if err != nil {

@@ -22,6 +22,7 @@ import (
 	"trilist/internal/degseq"
 	"trilist/internal/gen"
 	"trilist/internal/graph"
+	"trilist/internal/ingest/csrfile"
 	"trilist/internal/stats"
 )
 
@@ -44,7 +45,7 @@ func run(args []string) error {
 	rewire := fs.Float64("rewire", 0.1, "rewiring probability for -gen ws")
 	seed := fs.Uint64("seed", 1, "random seed")
 	out := fs.String("out", "", "output file (default stdout)")
-	format := fs.String("format", "text", "output format: text (edge list) or binary (CSR)")
+	format := fs.String("format", "text", "output format: text (edge list), binary (CSR stream), or csr (mmap-able TRCSRF)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -68,6 +69,8 @@ func run(args []string) error {
 			return graph.WriteEdgeList(w, g)
 		case "binary":
 			return graph.WriteBinary(w, g)
+		case "csr":
+			return csrfile.Write(w, g)
 		default:
 			return fmt.Errorf("unknown format %q", *format)
 		}

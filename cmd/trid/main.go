@@ -5,10 +5,19 @@
 // Usage:
 //
 //	trid [-addr :8080] [-cache-bytes 1073741824] [-queue 64] \
-//	     [-workers 0] [-drain-timeout 30s] [-debug-addr addr]
+//	     [-workers 0] [-drain-timeout 30s] [-debug-addr addr] \
+//	     [-csr-dir dir] [-upload-dir dir]
 //
 // -workers sizes the job worker pool and also bounds the parallelism
 // of registry rank/orient rebuilds on cache misses.
+//
+// -csr-dir persists every registered graph as a checksummed TRCSRF
+// file and warm-starts the registry on boot by memory-mapping the
+// files back — a restart costs page faults, not a reparse. Corrupt
+// files are skipped with a warning. -upload-dir is where the chunked
+// upload API (POST /v1/graphs/upload, then offset-resumable PUTs and a
+// commit) spools bytes before parsing; it defaults to the system temp
+// directory.
 //
 // The daemon logs its listen address on startup and shuts down
 // gracefully on SIGINT/SIGTERM: new submissions get 503 while queued
@@ -62,15 +71,33 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	workers := fs.Int("workers", 0, "job worker pool size (0 = GOMAXPROCS)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "graceful-shutdown budget before in-flight jobs are cancelled")
 	debugAddr := fs.String("debug-addr", "", "optional listen address serving net/http/pprof under /debug/pprof/ (empty = disabled)")
+	csrDir := fs.String("csr-dir", "", "directory persisting registered graphs as TRCSRF files, mmap-loaded on restart (empty = disabled)")
+	uploadDir := fs.String("upload-dir", "", "spool directory for chunked uploads (default: system temp)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *csrDir != "" {
+		if err := os.MkdirAll(*csrDir, 0o755); err != nil {
+			return fmt.Errorf("csr-dir: %w", err)
+		}
+	}
 	srv := server.New(server.Options{
 		CacheBytes: *cacheBytes,
 		QueueDepth: *queueDepth,
 		Workers:    *workers,
+		CSRDir:     *csrDir,
+		UploadDir:  *uploadDir,
 	})
+	if *csrDir != "" {
+		loaded, err := srv.LoadCSRDir()
+		if err != nil {
+			fmt.Fprintf(out, "trid: warm start: %v\n", err)
+		}
+		if loaded > 0 {
+			fmt.Fprintf(out, "trid warm-started %d graphs from %s\n", loaded, *csrDir)
+		}
+	}
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		return err

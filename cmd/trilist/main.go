@@ -13,8 +13,12 @@
 // adaptive default); kernels change only wall-clock speed — the
 // triangle set and every reported cost meter are kernel-invariant.
 // -print emits each triangle as "x y z" in relabeled IDs; omit it to
-// report only the count and cost meters. Input may be a text edge list or the binary CSR format
-// (auto-detected). -workers N parallelizes the sweep and the rank and
+// report only the count and cost meters. Input may be a MatrixMarket
+// .mtx file, a SNAP-style text edge list, the mmap-able TRCSRF CSR
+// format, or the binary CSR stream — auto-detected, or pinned with
+// -format (mtx, snap, csr, binary). TRCSRF files given via -in are
+// memory-mapped rather than parsed; text formats parse chunk-parallel
+// under -workers. -workers N parallelizes the sweep and the rank and
 // orient stages (results are identical at any worker count); -parts P > 1
 // switches to the external-memory partitioned lister (ignoring -method),
 // spilling blocks to -spill (or memory if unset). -timeout bounds the
@@ -37,6 +41,7 @@ import (
 	"trilist/internal/core"
 	"trilist/internal/extmem"
 	"trilist/internal/graph"
+	"trilist/internal/ingest"
 	"trilist/internal/listing"
 	"trilist/internal/obsv"
 	"trilist/internal/order"
@@ -51,7 +56,8 @@ func main() {
 
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trilist", flag.ContinueOnError)
-	in := fs.String("in", "", "input edge list file (default stdin)")
+	in := fs.String("in", "", "input graph file (default stdin)")
+	formatName := fs.String("format", "auto", "input format: auto, mtx, snap, csr, binary")
 	methodName := fs.String("method", "T1", "listing method: T1-T6, E1-E6, L1-L6")
 	orderName := fs.String("order", "auto", "order: auto, ascending, descending, round-robin, crr, uniform, degenerate")
 	kernelName := fs.String("kernel", "auto", "intersection kernel: merge, gallop, bitmap, auto")
@@ -69,18 +75,32 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	r := os.Stdin
+	format, err := ingest.ParseFormat(*formatName)
+	if err != nil {
+		return err
+	}
+	var rec *obsv.Recorder
+	if *stages {
+		rec = obsv.NewRecorder()
+	}
+	iopts := ingest.Options{Workers: *workers, Recorder: rec}
+	var g *graph.Graph
 	if *in != "" {
-		f, err := os.Open(*in)
+		ld, err := ingest.LoadFile(*in, format, iopts)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		r = f
-	}
-	g, err := graph.ReadAny(r)
-	if err != nil {
-		return err
+		defer ld.Close()
+		g = ld.Graph
+	} else {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		g, _, err = ingest.Parse(data, format, iopts)
+		if err != nil {
+			return err
+		}
 	}
 	kind, err := parseOrder(*orderName, method)
 	if err != nil {
@@ -97,10 +117,6 @@ func run(args []string, out io.Writer) error {
 		visit = func(x, y, z int32) { fmt.Fprintf(w, "%d %d %d\n", x, y, z) }
 	}
 	fmt.Fprintf(w, "# graph: n=%d m=%d\n", g.NumNodes(), g.NumEdges())
-	var rec *obsv.Recorder
-	if *stages {
-		rec = obsv.NewRecorder()
-	}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc

@@ -101,9 +101,16 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-in", "/nonexistent/file"}, &out); err == nil {
 		t.Error("missing file accepted")
 	}
-	bad := writeTempGraph(t, "0 0\n")
+	bad := writeTempGraph(t, "0 zebra\n")
 	if err := run([]string{"-in", bad}, &out); err == nil {
-		t.Error("self-loop input accepted")
+		t.Error("malformed input accepted")
+	}
+	if err := run([]string{"-in", writeTempGraph(t, k4), "-format", "nonsense"}, &out); err == nil {
+		t.Error("unknown format accepted")
+	}
+	// Self-loops are stripped by SNAP ingest, not rejected.
+	if err := run([]string{"-in", writeTempGraph(t, "0 0\n")}, &out); err != nil {
+		t.Errorf("self-loop input rejected: %v", err)
 	}
 }
 

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	tristats -in graph.txt [-matrix] [-speed-ratio 2.9] [-seed 1]
+//	tristats -in graph.txt [-format auto] [-matrix] [-speed-ratio 2.9] [-seed 1]
+//
+// Input may be a MatrixMarket .mtx file, a SNAP-style edge list, the
+// mmap-able TRCSRF CSR format, or the binary CSR stream —
+// auto-detected, or pinned with -format.
 package main
 
 import (
@@ -19,6 +23,7 @@ import (
 	"trilist/internal/core"
 	"trilist/internal/experiments"
 	"trilist/internal/graph"
+	"trilist/internal/ingest"
 	"trilist/internal/listing"
 	"trilist/internal/order"
 	"trilist/internal/stats"
@@ -33,7 +38,8 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("tristats", flag.ContinueOnError)
-	in := fs.String("in", "", "input edge list file (default stdin)")
+	in := fs.String("in", "", "input graph file (default stdin)")
+	formatName := fs.String("format", "auto", "input format: auto, mtx, snap, csr, binary")
 	matrix := fs.Bool("matrix", false, "print the 4-method × 6-order cost matrix (Table 12 layout)")
 	speedRatio := fs.Float64("speed-ratio", 2.9, "SEI-vs-hash per-operation speed ratio for the method choice (§2.4; Table 3 measures ≈95 for SIMD C++, ≈3 for this repo's Go)")
 	seed := fs.Uint64("seed", 1, "seed for the uniform order column")
@@ -41,18 +47,28 @@ func run(args []string, w io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	r := os.Stdin
+	format, err := ingest.ParseFormat(*formatName)
+	if err != nil {
+		return err
+	}
+	iopts := ingest.Options{Workers: *workers}
+	var g *graph.Graph
 	if *in != "" {
-		f, err := os.Open(*in)
+		ld, err := ingest.LoadFile(*in, format, iopts)
 		if err != nil {
 			return err
 		}
-		defer f.Close()
-		r = f
-	}
-	g, err := graph.ReadAny(r)
-	if err != nil {
-		return err
+		defer ld.Close()
+		g = ld.Graph
+	} else {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return err
+		}
+		g, _, err = ingest.Parse(data, format, iopts)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Fprintf(w, "nodes     %d\n", g.NumNodes())
 	fmt.Fprintf(w, "edges     %d\n", g.NumEdges())

@@ -61,9 +61,9 @@ func TestStatsErrors(t *testing.T) {
 	if err := run([]string{"-in", "/does/not/exist"}, &out); err == nil {
 		t.Fatal("missing file accepted")
 	}
-	bad := writeGraph(t, "1 1\n")
+	bad := writeGraph(t, "1 zebra\n")
 	if err := run([]string{"-in", bad}, &out); err == nil {
-		t.Fatal("self-loop accepted")
+		t.Fatal("malformed input accepted")
 	}
 	if err := run([]string{"-in", writeGraph(t, "0 1\n"), "-speed-ratio", "0"}, &out); err == nil {
 		t.Fatal("zero speed ratio accepted")

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"slices"
 	"strings"
 
@@ -28,9 +29,13 @@ import (
 // half has a different fix, and a whole-pipeline timer can't tell them
 // apart.
 
-// PipelineSchema versions the BENCH_pipeline.json layout; readers
-// reject anything else.
-const PipelineSchema = "trilist/pipeline-bench/v1"
+// PipelineSchema versions the BENCH_pipeline.json layout. v2 added the
+// host shape (NumCPU, GoMaxProcs); readers accept v1 documents, whose
+// zero host fields mean "unknown host".
+const (
+	PipelineSchema   = "trilist/pipeline-bench/v2"
+	pipelineSchemaV1 = "trilist/pipeline-bench/v1"
+)
 
 // PipelineRow is one (workload, stage, kernel, workers) measurement.
 // The generate stage is kernel- and worker-agnostic: its Kernel is "-"
@@ -57,12 +62,18 @@ func (r PipelineRow) key() string {
 
 // PipelineBench is the persisted benchmark document.
 type PipelineBench struct {
-	Schema string        `json:"schema"`
-	N      int           `json:"n"`
-	Alpha  float64       `json:"alpha"`
-	Seed   uint64        `json:"seed"`
-	Reps   int           `json:"reps"`
-	Rows   []PipelineRow `json:"rows"`
+	Schema string  `json:"schema"`
+	N      int     `json:"n"`
+	Alpha  float64 `json:"alpha"`
+	Seed   uint64  `json:"seed"`
+	Reps   int     `json:"reps"`
+	// NumCPU and GoMaxProcs record the host the bench ran on (schema
+	// v2). Zero (v1 documents) means the host shape is unknown, and
+	// multi-worker timing rows can't be compared meaningfully: a 4-worker
+	// speedup measured on 8 cores says nothing on a 1-core box.
+	NumCPU     int           `json:"num_cpu,omitempty"`
+	GoMaxProcs int           `json:"gomaxprocs,omitempty"`
+	Rows       []PipelineRow `json:"rows"`
 }
 
 // PipelineConfig parameterizes TablePipeline.
@@ -140,11 +151,13 @@ func TablePipeline(cfg PipelineConfig) (*PipelineBench, error) {
 	cfg = cfg.withDefaults()
 	p := degseq.StandardPareto(cfg.Alpha)
 	bench := &PipelineBench{
-		Schema: PipelineSchema,
-		N:      cfg.N,
-		Alpha:  cfg.Alpha,
-		Seed:   cfg.Seed,
-		Reps:   cfg.Reps,
+		Schema:     PipelineSchema,
+		N:          cfg.N,
+		Alpha:      cfg.Alpha,
+		Seed:       cfg.Seed,
+		Reps:       cfg.Reps,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 	}
 	for ti, trunc := range []degseq.Truncation{degseq.RootTruncation, degseq.LinearTruncation} {
 		workload := trunc.String()
@@ -292,10 +305,19 @@ func ReadPipelineJSON(r io.Reader) (*PipelineBench, error) {
 	if err := dec.Decode(&b); err != nil {
 		return nil, fmt.Errorf("experiments: pipeline bench: %w", err)
 	}
-	if b.Schema != PipelineSchema {
+	if b.Schema != PipelineSchema && b.Schema != pipelineSchemaV1 {
 		return nil, fmt.Errorf("experiments: pipeline bench schema %q, want %q", b.Schema, PipelineSchema)
 	}
 	return &b, nil
+}
+
+// ComparablePipelineHosts reports whether multi-worker timing rows of
+// the two documents were measured on the same host shape. v1 baselines
+// (no host fields) are never comparable; single-worker rows are always
+// compared regardless.
+func ComparablePipelineHosts(cur, base *PipelineBench) bool {
+	return cur.NumCPU > 0 && cur.NumCPU == base.NumCPU &&
+		cur.GoMaxProcs > 0 && cur.GoMaxProcs == base.GoMaxProcs
 }
 
 // ComparePipeline gates cur against base: every baseline cell must be
@@ -305,11 +327,18 @@ func ReadPipelineJSON(r io.Reader) (*PipelineBench, error) {
 // The returned strings describe the violations, sorted; empty means the
 // gate passes. Cells only in cur are fine — adding kernels or worker
 // counts is not a regression.
+//
+// Timing is only gated where it is meaningful: when the two documents
+// disagree on the host shape (see ComparablePipelineHosts — including
+// every v1 baseline, which recorded none), rows with Workers > 1 skip
+// the BestMS check, since multi-worker speedups do not transfer across
+// core counts. Correctness checks always run.
 func ComparePipeline(cur, base *PipelineBench, tol float64) []string {
 	curByKey := make(map[string]PipelineRow, len(cur.Rows))
 	for _, r := range cur.Rows {
 		curByKey[r.key()] = r
 	}
+	sameHost := ComparablePipelineHosts(cur, base)
 	var out []string
 	for _, b := range base.Rows {
 		c, ok := curByKey[b.key()]
@@ -322,6 +351,9 @@ func ComparePipeline(cur, base *PipelineBench, tol float64) []string {
 		}
 		if b.ModelOps != 0 && c.ModelOps != b.ModelOps {
 			out = append(out, fmt.Sprintf("%s: model_ops %d, baseline %d", b.key(), c.ModelOps, b.ModelOps))
+		}
+		if b.Workers > 1 && !sameHost {
+			continue
 		}
 		if limit := b.BestMS * (1 + tol); b.BestMS > 0 && c.BestMS > limit {
 			out = append(out, fmt.Sprintf("%s: best_ms %.3f exceeds baseline %.3f by more than %.0f%%",

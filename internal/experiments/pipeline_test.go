@@ -154,6 +154,22 @@ func TestPipelineJSONRoundTrip(t *testing.T) {
 		t.Errorf("round trip changed the document:\ngot  %+v\nwant %+v", got, bench)
 	}
 
+	// A fresh document records the host shape (schema v2).
+	if bench.Schema != PipelineSchema || bench.NumCPU < 1 || bench.GoMaxProcs < 1 {
+		t.Errorf("fresh bench: schema %q, num_cpu %d, gomaxprocs %d", bench.Schema, bench.NumCPU, bench.GoMaxProcs)
+	}
+
+	// v1 documents are still readable (host fields, absent in real v1
+	// files, decode as zero = "unknown host").
+	v1doc := strings.Replace(buf.String(), PipelineSchema, pipelineSchemaV1, 1)
+	old, err := ReadPipelineJSON(strings.NewReader(v1doc))
+	if err != nil {
+		t.Fatalf("v1 schema rejected: %v", err)
+	}
+	if old.Schema != pipelineSchemaV1 {
+		t.Errorf("v1 read rewrote schema to %q", old.Schema)
+	}
+
 	if _, err := ReadPipelineJSON(strings.NewReader(`{"schema":"bogus/v9","rows":[]}`)); err == nil {
 		t.Error("wrong schema accepted")
 	}
@@ -212,6 +228,63 @@ func TestComparePipelineGate(t *testing.T) {
 	extra.Rows = append(extra.Rows, PipelineRow{Workload: "root", Stage: "list", Kernel: "bitmap", Workers: 8, BestMS: 1})
 	if v := ComparePipeline(extra, base, 0.25); len(v) != 0 {
 		t.Errorf("extra cell flagged: %v", v)
+	}
+
+	// Host-shape awareness: against a baseline with an unknown or
+	// different host, multi-worker timing rows are exempt from the
+	// BestMS gate (a parallel speedup doesn't transfer across core
+	// counts), but single-worker rows and correctness checks still bite.
+	foreign := copyBench(base)
+	var w1, wN = -1, -1
+	for i, r := range foreign.Rows {
+		if r.BestMS <= 0 {
+			continue
+		}
+		if r.Workers == 1 && w1 < 0 {
+			w1 = i
+		}
+		if r.Workers > 1 && wN < 0 {
+			wN = i
+		}
+	}
+	if w1 < 0 || wN < 0 {
+		t.Fatal("tiny config produced no single- or multi-worker timed rows")
+	}
+	foreign.Rows[w1].BestMS = base.Rows[w1].BestMS * 10
+	foreign.Rows[wN].BestMS = base.Rows[wN].BestMS * 10
+	for _, tc := range []struct {
+		name string
+		prep func(b *PipelineBench)
+		want int // violations
+	}{
+		{"same host", func(b *PipelineBench) {}, 2},
+		{"v1 baseline (unknown host)", func(b *PipelineBench) { b.NumCPU, b.GoMaxProcs = 0, 0 }, 1},
+		{"different core count", func(b *PipelineBench) { b.NumCPU = base.NumCPU + 7 }, 1},
+		{"different gomaxprocs", func(b *PipelineBench) { b.GoMaxProcs = base.GoMaxProcs + 1 }, 1},
+	} {
+		altered := copyBench(base)
+		tc.prep(altered)
+		v := ComparePipeline(foreign, altered, 0.25)
+		if len(v) != tc.want {
+			t.Errorf("%s: %d violations %v, want %d", tc.name, len(v), v, tc.want)
+		}
+		for _, line := range v {
+			if !strings.Contains(line, "best_ms") {
+				t.Errorf("%s: unexpected violation %q", tc.name, line)
+			}
+		}
+		if tc.want == 1 && ComparablePipelineHosts(foreign, altered) {
+			t.Errorf("%s: hosts unexpectedly comparable", tc.name)
+		}
+	}
+	// Even with an incomparable host, a missing multi-worker cell or a
+	// correctness drift is still a violation.
+	gone := copyBench(base)
+	gone.NumCPU = 0
+	gone.Rows = append(gone.Rows[:wN], gone.Rows[wN+1:]...)
+	v = ComparePipeline(gone, base, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Errorf("missing multi-worker cell on foreign host not caught: %v", v)
 	}
 
 	// Correctness drift on a list cell fails regardless of timing.

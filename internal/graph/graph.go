@@ -170,6 +170,38 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
+// FromCSR adopts pre-built CSR arrays as a graph after checking every
+// structural invariant (Validate). The slices are NOT copied: callers
+// hand over ownership, which lets zero-copy loaders (mmap-backed files,
+// arena builders) expose graphs without duplicating hundreds of
+// megabytes of adjacency. A graph over read-only mapped memory is fully
+// usable — nothing in this package writes to a constructed graph.
+func FromCSR(offsets []int64, nbrs []int32) (*Graph, error) {
+	if len(offsets) == 0 {
+		if len(nbrs) != 0 {
+			return nil, fmt.Errorf("graph: %d neighbors with no offsets", len(nbrs))
+		}
+		return &Graph{}, nil
+	}
+	g := &Graph{offsets: offsets, nbrs: nbrs}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// CSR returns the raw offset and neighbor arrays. Both alias the
+// graph's internal storage and must not be modified; they are the
+// serialization surface for binary on-disk formats.
+func (g *Graph) CSR() (offsets []int64, nbrs []int32) { return g.offsets, g.nbrs }
+
+// Equal reports whether g and h are bitwise-identical CSR structures:
+// same offsets, same neighbor array. It is the equality the parallel
+// ingest invariance tests assert, so it must be exact, not semantic.
+func (g *Graph) Equal(h *Graph) bool {
+	return slices.Equal(g.offsets, h.offsets) && slices.Equal(g.nbrs, h.nbrs)
+}
+
 // FromEdges builds a simple graph on n nodes from an edge list. Self-loops
 // are rejected; duplicate edges are rejected unless dedupe is true, in
 // which case they are silently collapsed.

@@ -1,0 +1,222 @@
+package csrfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trilist/internal/graph"
+)
+
+func mustGraph(t testing.TB, n int, edges []graph.Edge) *graph.Graph {
+	t.Helper()
+	g, err := graph.FromEdges(n, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// testGraphs covers the boundary shapes: empty, edgeless, a clique,
+// and a sparse graph with isolated nodes at both ends.
+func testGraphs(t testing.TB) map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"empty":    mustGraph(t, 0, nil),
+		"edgeless": mustGraph(t, 5, nil),
+		"k4": mustGraph(t, 4, []graph.Edge{
+			{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}, {U: 1, V: 2}, {U: 1, V: 3}, {U: 2, V: 3},
+		}),
+		"sparse": mustGraph(t, 100, []graph.Edge{
+			{U: 3, V: 97}, {U: 41, V: 42}, {U: 3, V: 41},
+		}),
+	}
+}
+
+// encode renders a graph's TRCSRF image in memory.
+func encode(t testing.TB, g *graph.Graph) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			img := encode(t, g)
+			if want := headerSize + payloadSize(int64(g.NumNodes()), g.NumEdges()); int64(len(img)) != want {
+				t.Fatalf("image is %d bytes, want %d", len(img), want)
+			}
+
+			// Streaming reader.
+			got, err := Read(bytes.NewReader(img))
+			if err != nil {
+				t.Fatalf("Read: %v", err)
+			}
+			if !got.Equal(g) {
+				t.Fatal("Read round trip changed the graph")
+			}
+
+			// Mmap loader, via a real file.
+			path := filepath.Join(t.TempDir(), "g.csrf")
+			if err := WriteFile(path, g); err != nil {
+				t.Fatal(err)
+			}
+			onDisk, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(onDisk, img) {
+				t.Fatal("WriteFile bytes differ from Write bytes")
+			}
+			m, err := Open(path)
+			if err != nil {
+				t.Fatalf("Open: %v", err)
+			}
+			if !m.Graph().Equal(g) {
+				t.Fatal("Open round trip changed the graph")
+			}
+
+			// Byte-identical re-encode of the mapped graph: the format is
+			// canonical, so graph -> file -> graph -> file is a fixpoint.
+			if !bytes.Equal(encode(t, m.Graph()), img) {
+				t.Fatal("re-encoding the mapped graph changed the bytes")
+			}
+			if err := m.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if err := m.Close(); err != nil {
+				t.Fatalf("second Close: %v", err)
+			}
+		})
+	}
+}
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.csrf")
+	g := testGraphs(t)["k4"]
+	// Writing over an existing file replaces it wholesale.
+	for i := 0; i < 2; i++ {
+		if err := WriteFile(path, g); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || ents[0].Name() != "g.csrf" {
+		t.Fatalf("directory not clean after WriteFile: %v", ents)
+	}
+}
+
+// corrupt returns a copy of img with one mutation applied.
+func corrupt(img []byte, mutate func(b []byte)) []byte {
+	b := bytes.Clone(img)
+	mutate(b)
+	return b
+}
+
+// TestFaultInjection is the fault wall: every corruption of a valid
+// file must produce a descriptive error — from both the streaming
+// reader and the mmap loader — never a graph and never a panic.
+func TestFaultInjection(t *testing.T) {
+	g := testGraphs(t)["k4"]
+	img := encode(t, g)
+	cases := []struct {
+		name string
+		img  []byte
+		want string // error substring
+	}{
+		{"empty file", nil, "reading header"},
+		{"short header", img[:10], "reading header"},
+		{"header only", img[:headerSize], "truncated offsets"},
+		{"mid payload", img[:headerSize+13], "truncated"},
+		{"one byte short", img[:len(img)-1], "truncated neighbors"},
+		{"flipped magic", corrupt(img, func(b []byte) { b[0] = 'X' }), "bad magic"},
+		{"flipped version", corrupt(img, func(b []byte) { b[6] = 9 }), "unsupported version 9"},
+		{"flipped n", corrupt(img, func(b []byte) { b[8] ^= 0xFF }), "header checksum mismatch"},
+		{"flipped m", corrupt(img, func(b []byte) { b[16] ^= 0x01 }), "header checksum mismatch"},
+		{"flipped payload crc", corrupt(img, func(b []byte) { b[24] ^= 0x01 }), "header checksum mismatch"},
+		{"flipped payload byte", corrupt(img, func(b []byte) { b[headerSize+5] ^= 0x01 }), "payload checksum mismatch"},
+		{"flipped last byte", corrupt(img, func(b []byte) { b[len(b)-1] ^= 0x80 }), "payload checksum mismatch"},
+	}
+
+	// A header forged with a consistent checksum but absurd m must be
+	// rejected by plausibility, not by a giant allocation.
+	forged := encodeHeader(4, 1<<40, 0)
+	cases = append(cases, struct {
+		name string
+		img  []byte
+		want string
+	}{"forged huge m", forged[:], "n(n-1)/2"})
+
+	// A payload that checksums but violates CSR structure (offsets not
+	// ending at 2m) must fail graph validation.
+	badPayload := corrupt(img, func(b []byte) {})
+	// offsets[1] lives at bytes [72, 80); lower it so the row bounds lie.
+	badPayload[headerSize+8] = 0xFF
+	badPayload = fixPayloadCRC(badPayload)
+	cases = append(cases, struct {
+		name string
+		img  []byte
+		want string
+	}{"checksummed but invalid", badPayload, "not a valid graph"})
+
+	dir := t.TempDir()
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Read(bytes.NewReader(tc.img)); err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("Read error %v, want substring %q", err, tc.want)
+			}
+			path := filepath.Join(dir, "fault.csrf")
+			if err := os.WriteFile(path, tc.img, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			m, err := Open(path)
+			if err == nil {
+				m.Close()
+				t.Fatalf("Open accepted the corruption, want substring %q", tc.want)
+			}
+			// Open reports size mismatches before reading the payload, so
+			// truncations surface as the size check instead.
+			if !strings.Contains(err.Error(), tc.want) && !strings.Contains(err.Error(), "truncated or padded") &&
+				!strings.Contains(err.Error(), "shorter than") {
+				t.Errorf("Open error %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+
+	// A padded file (trailing garbage) passes checksums on its prefix
+	// but fails Open's exact-size check.
+	padded := append(bytes.Clone(img), 0xEE)
+	path := filepath.Join(dir, "padded.csrf")
+	if err := os.WriteFile(path, padded, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "truncated or padded") {
+		t.Errorf("padded file: %v, want size mismatch", err)
+	}
+
+	if _, err := Open(filepath.Join(dir, "missing.csrf")); err == nil {
+		t.Error("Open accepted a missing file")
+	}
+}
+
+// fixPayloadCRC recomputes both checksums after a deliberate payload
+// mutation, preserving the stored n and m, so the corruption reaches
+// graph validation instead of tripping the checksum.
+func fixPayloadCRC(img []byte) []byte {
+	n := int64(binary.LittleEndian.Uint64(img[8:16]))
+	m := int64(binary.LittleEndian.Uint64(img[16:24]))
+	h := encodeHeader(n, m, crc32.Checksum(img[headerSize:], castagnoli))
+	copy(img[:headerSize], h[:])
+	return img
+}

@@ -1,0 +1,35 @@
+//go:build linux
+
+package csrfile
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+	"unsafe"
+)
+
+// openMapped maps the already header-validated file read-only and
+// reinterprets the payload in place: the offsets array begins at byte
+// 64 (8-aligned by construction, and the mapping itself is
+// page-aligned), the neighbor array right after it. The descriptor can
+// be closed once the mapping exists; the mapping keeps the pages.
+func openMapped(f *os.File, size int, n, m int64, wantCRC uint32) (*Mapped, error) {
+	data, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		return nil, fmt.Errorf("mmap: %w", err)
+	}
+	offsets := unsafe.Slice((*int64)(unsafe.Pointer(&data[headerSize])), n+1)
+	var nbrs []int32
+	if m > 0 {
+		nbrs = unsafe.Slice((*int32)(unsafe.Pointer(&data[headerSize+8*(n+1)])), 2*m)
+	}
+	g, err := verifyPayload(data, n, m, wantCRC, offsets, nbrs)
+	if err != nil {
+		_ = syscall.Munmap(data)
+		return nil, err
+	}
+	return &Mapped{g: g, data: data}, nil
+}
+
+func unmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,25 @@
+//go:build !linux
+
+package csrfile
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// openMapped on platforms without wired-up mmap support falls back to
+// the copying loader: same checks, same errors, one extra copy of the
+// payload. The Mapped wrapper keeps the call sites identical.
+func openMapped(f *os.File, size int, n, m int64, wantCRC uint32) (*Mapped, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("csrfile: %w", err)
+	}
+	g, err := Read(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Mapped{g: g}, nil
+}
+
+func unmap([]byte) error { return nil }

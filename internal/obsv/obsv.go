@@ -33,8 +33,14 @@ import (
 // own without touching this package.
 type Stage string
 
-// The four canonical pipeline stages, in execution order.
+// The canonical pipeline stages, in execution order.
 const (
+	// StageParse covers real-graph ingestion: scanning MatrixMarket or
+	// SNAP bytes into a validated edge list (internal/ingest).
+	StageParse Stage = "parse"
+	// StageBuild covers CSR construction from a parsed edge list
+	// (dedupe, self-loop strip, adjacency sort).
+	StageBuild Stage = "build"
 	// StageGenerate covers workload synthesis: degree-sequence sampling
 	// plus random-graph construction.
 	StageGenerate Stage = "generate"
@@ -51,7 +57,7 @@ const (
 
 // PipelineStages lists the canonical stages in execution order, for
 // deterministic rendering.
-var PipelineStages = []Stage{StageGenerate, StageRank, StageOrient, StageList}
+var PipelineStages = []Stage{StageParse, StageBuild, StageGenerate, StageRank, StageOrient, StageList}
 
 // Clock is an injectable time source. The default is time.Now, whose
 // readings carry Go's monotonic clock; tests and benchmark harnesses

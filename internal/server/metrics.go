@@ -29,6 +29,12 @@ type serverMetrics struct {
 	graphsResident *metrics.Gauge
 
 	graphsRegistered *metrics.Counter
+	graphsPersisted  *metrics.Counter
+	graphsWarmLoaded *metrics.Counter
+
+	uploadsOpen      *metrics.Gauge
+	uploadsCommitted *metrics.Counter
+	uploadBytes      *metrics.Counter
 }
 
 func newServerMetrics() *serverMetrics {
@@ -61,6 +67,12 @@ func newServerMetrics() *serverMetrics {
 		cacheBytes:     r.NewGauge("trid_graph_cache_bytes", "Bytes of resident graphs and orientations."),
 		graphsResident: r.NewGauge("trid_graphs_resident", "Graphs currently resident in the registry."),
 
-		graphsRegistered: r.NewCounter("trid_graphs_registered_total", "Accepted POST /v1/graphs requests (including re-registrations)."),
+		graphsRegistered: r.NewCounter("trid_graphs_registered_total", "Accepted graph registrations, direct or upload-commit (including re-registrations)."),
+		graphsPersisted:  r.NewCounter("trid_graphs_persisted_total", "Graphs written to the CSR directory."),
+		graphsWarmLoaded: r.NewCounter("trid_graphs_warm_loaded_total", "Graphs memory-mapped from the CSR directory at startup."),
+
+		uploadsOpen:      r.NewGauge("trid_uploads_open", "Chunked uploads currently spooling."),
+		uploadsCommitted: r.NewCounter("trid_uploads_committed_total", "Chunked uploads committed into the registry."),
+		uploadBytes:      r.NewCounter("trid_upload_bytes_total", "Bytes appended across all chunked uploads."),
 	}
 }

@@ -21,18 +21,17 @@
 package server
 
 import (
-	"bytes"
 	"context"
-	"crypto/sha256"
-	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
+	"os"
 	"runtime"
+	"sync"
 
-	"trilist/internal/graph"
+	"trilist/internal/ingest"
 	"trilist/internal/metrics"
 )
 
@@ -41,8 +40,18 @@ type Options struct {
 	// CacheBytes is the registry's resident-byte budget (graphs plus
 	// cached orientations). Default 1 GiB.
 	CacheBytes int64
-	// MaxUploadBytes bounds a POST /v1/graphs body. Default 1 GiB.
+	// MaxUploadBytes bounds a POST /v1/graphs body and the total spooled
+	// size of a chunked upload. Default 1 GiB.
 	MaxUploadBytes int64
+	// MaxUploads bounds concurrently open chunked uploads. Default 16.
+	MaxUploads int
+	// UploadDir is where chunked uploads spool before commit. Default
+	// the system temp directory.
+	UploadDir string
+	// CSRDir, when set, persists every registered graph as a TRCSRF
+	// file and lets LoadCSRDir mmap them back on restart. Empty
+	// disables persistence.
+	CSRDir string
 	// QueueDepth bounds the job queue; submissions beyond it get 503.
 	// Default 64.
 	QueueDepth int
@@ -63,6 +72,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.MaxUploadBytes <= 0 {
 		o.MaxUploadBytes = 1 << 30
+	}
+	if o.MaxUploads <= 0 {
+		o.MaxUploads = 16
+	}
+	if o.UploadDir == "" {
+		o.UploadDir = os.TempDir()
 	}
 	if o.QueueDepth <= 0 {
 		o.QueueDepth = 64
@@ -86,6 +101,10 @@ type Server struct {
 	reg     *Registry
 	jobs    *Manager
 	mux     *http.ServeMux
+	uploads *uploadSet
+
+	mappedMu sync.Mutex
+	mapped   []io.Closer // warm-start mmaps, released on Shutdown
 }
 
 // New assembles a server and starts its worker pool.
@@ -99,8 +118,13 @@ func New(opts Options) *Server {
 		reg:     reg,
 		jobs:    NewManager(opts, reg, m),
 		mux:     http.NewServeMux(),
+		uploads: newUploadSet(opts.UploadDir, opts.MaxUploads),
 	}
 	s.mux.HandleFunc("POST /v1/graphs", s.handleRegisterGraph)
+	s.mux.HandleFunc("POST /v1/graphs/upload", s.handleUploadBegin)
+	s.mux.HandleFunc("PUT /v1/graphs/upload/{id}", s.handleUploadAppend)
+	s.mux.HandleFunc("POST /v1/graphs/upload/{id}/commit", s.handleUploadCommit)
+	s.mux.HandleFunc("DELETE /v1/graphs/upload/{id}", s.handleUploadAbort)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -118,10 +142,18 @@ func (s *Server) Handler() http.Handler { return s.mux }
 func (s *Server) Registry() *Registry { return s.reg }
 
 // Shutdown drains the job queue and pool; see Manager.Shutdown. New
-// graph registrations and job submissions 503 from the moment it is
-// called, while GETs keep serving so clients can collect results.
+// graph registrations, uploads and job submissions 503 from the moment
+// it is called, while GETs keep serving so clients can collect
+// results. In-flight upload spools are discarded; warm-start mappings
+// are released only after a clean drain (an expired ctx may leave jobs
+// reading mapped pages).
 func (s *Server) Shutdown(ctx context.Context) error {
-	return s.jobs.Shutdown(ctx)
+	err := s.jobs.Shutdown(ctx)
+	s.uploads.closeAll()
+	if err == nil {
+		s.closeMapped()
+	}
+	return err
 }
 
 // errorBody is the uniform JSON error envelope.
@@ -148,11 +180,18 @@ type graphInfo struct {
 	Cached bool `json:"cached"`
 }
 
-// handleRegisterGraph ingests an edge-list or binary CSR body, keys it
-// by content hash, and makes it resident.
+// handleRegisterGraph ingests a graph body in any ingest format
+// (MatrixMarket, SNAP edge list, TRCSRF or binary CSR — sniffed), keys
+// it by content hash, and makes it resident. The optional ?format=
+// query parameter pins the format instead of sniffing.
 func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 	if s.jobs.Draining() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	format, err := ingest.ParseFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxUploadBytes))
@@ -160,25 +199,12 @@ func (s *Server) handleRegisterGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "reading body: %v", err)
 		return
 	}
-	sum := sha256.Sum256(body)
-	id := "sha256:" + hex.EncodeToString(sum[:8])
-	s.metrics.graphsRegistered.Inc()
-	if g, ok := s.reg.Get(id); ok {
-		writeJSON(w, http.StatusOK, graphInfo{
-			ID: id, Nodes: g.NumNodes(), Edges: g.NumEdges(),
-			Bytes: graphBytes(g), Cached: true,
-		})
-		return
-	}
-	g, err := graph.ReadAny(bytes.NewReader(body))
+	info, code, err := s.registerBytes(body, format)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "parsing graph: %v", err)
+		writeError(w, code, "%v", err)
 		return
 	}
-	s.reg.Add(id, g)
-	writeJSON(w, http.StatusCreated, graphInfo{
-		ID: id, Nodes: g.NumNodes(), Edges: g.NumEdges(), Bytes: graphBytes(g),
-	})
+	writeJSON(w, code, info)
 }
 
 func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {

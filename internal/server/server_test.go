@@ -145,9 +145,15 @@ func TestRegisterGraphAndContentHashDedup(t *testing.T) {
 		t.Fatalf("re-registration not served from cache: %+v", gi2)
 	}
 	// Malformed body is a 400, not a registration.
-	code, _ := e.do(t, "POST", "/v1/graphs", []byte("0 0\n"))
+	code, _ := e.do(t, "POST", "/v1/graphs", []byte("0 zebra\n"))
 	if code != http.StatusBadRequest {
-		t.Fatalf("self-loop graph: status %d, want 400", code)
+		t.Fatalf("malformed graph: status %d, want 400", code)
+	}
+	// Self-loops are stripped (SNAP ingest semantics), not rejected:
+	// "0 0" is a valid 1-node, 0-edge graph.
+	code, _ = e.do(t, "POST", "/v1/graphs", []byte("0 0\n"))
+	if code != http.StatusCreated {
+		t.Fatalf("self-loop graph: status %d, want 201", code)
 	}
 }
 

@@ -1,0 +1,363 @@
+package server
+
+import (
+	"crypto/rand"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+
+	"trilist/internal/graph"
+	"trilist/internal/ingest"
+	"trilist/internal/ingest/csrfile"
+)
+
+// The chunked upload API. A single POST /v1/graphs works until the
+// graph outgrows what a client can push in one request over a flaky
+// link; past that, uploads need to survive disconnects and resume from
+// the last byte the server kept. The protocol is a minimal cousin of
+// tus/S3 multipart:
+//
+//	POST   /v1/graphs/upload              begin; optional {"format": "mtx"}
+//	PUT    /v1/graphs/upload/{id}         append body at Upload-Offset
+//	POST   /v1/graphs/upload/{id}/commit  parse, register, respond like POST /v1/graphs
+//	DELETE /v1/graphs/upload/{id}         abort and discard
+//
+// Appends are offset-checked: a PUT whose Upload-Offset does not match
+// the bytes already spooled gets 409 plus the server's offset, which
+// is exactly where the client resumes. A PUT without the header always
+// appends at the end. Bytes spool to UploadDir; nothing is parsed
+// until commit, so a malformed upload costs one descriptive 400, not a
+// half-registered graph.
+
+// upload is one in-flight spool. Its mutex serializes appends and the
+// final commit; the set's lock is never held across I/O.
+type upload struct {
+	mu     sync.Mutex
+	id     string
+	path   string
+	f      *os.File
+	size   int64
+	format ingest.Format
+	gone   bool // committed or aborted; late appends get 404
+}
+
+// uploadSet tracks in-flight uploads, capped at max.
+type uploadSet struct {
+	mu   sync.Mutex
+	dir  string
+	max  int
+	byID map[string]*upload
+}
+
+func newUploadSet(dir string, max int) *uploadSet {
+	return &uploadSet{dir: dir, max: max, byID: make(map[string]*upload)}
+}
+
+var errUploadsFull = errors.New("too many in-flight uploads")
+
+// begin creates a spool file and registers the upload.
+func (s *uploadSet) begin(format ingest.Format) (*upload, error) {
+	var buf [8]byte
+	if _, err := rand.Read(buf[:]); err != nil {
+		return nil, err
+	}
+	id := hex.EncodeToString(buf[:])
+	path := filepath.Join(s.dir, "trid-upload-"+id+".spool")
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o600)
+	if err != nil {
+		return nil, err
+	}
+	u := &upload{id: id, path: path, f: f, format: format}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.byID) >= s.max {
+		f.Close()
+		os.Remove(path)
+		return nil, errUploadsFull
+	}
+	s.byID[id] = u
+	return u, nil
+}
+
+func (s *uploadSet) get(id string) (*upload, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.byID[id]
+	return u, ok
+}
+
+// take removes the upload from the set so commit and abort are
+// exclusive with each other and with future lookups.
+func (s *uploadSet) take(id string) (*upload, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	u, ok := s.byID[id]
+	if ok {
+		delete(s.byID, id)
+	}
+	return u, ok
+}
+
+// discard releases an upload's spool file.
+func (u *upload) discard() {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.gone = true
+	if u.f != nil {
+		u.f.Close()
+		u.f = nil
+	}
+	os.Remove(u.path)
+}
+
+// closeAll discards every in-flight upload (shutdown path).
+func (s *uploadSet) closeAll() {
+	s.mu.Lock()
+	ups := make([]*upload, 0, len(s.byID))
+	for _, u := range s.byID {
+		ups = append(ups, u)
+	}
+	s.byID = make(map[string]*upload)
+	s.mu.Unlock()
+	for _, u := range ups {
+		u.discard()
+	}
+}
+
+// uploadView is the JSON shape of begin and append responses.
+type uploadView struct {
+	UploadID string `json:"upload_id"`
+	Offset   int64  `json:"offset"`
+}
+
+func (s *Server) handleUploadBegin(w http.ResponseWriter, r *http.Request) {
+	if s.jobs.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req struct {
+		Format string `json:"format"`
+	}
+	if r.ContentLength != 0 {
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+			writeError(w, http.StatusBadRequest, "decoding upload spec: %v", err)
+			return
+		}
+	}
+	format, err := ingest.ParseFormat(req.Format)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	u, err := s.uploads.begin(format)
+	switch {
+	case errors.Is(err, errUploadsFull):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "starting upload: %v", err)
+		return
+	}
+	s.metrics.uploadsOpen.Add(1)
+	writeJSON(w, http.StatusCreated, uploadView{UploadID: u.id})
+}
+
+func (s *Server) handleUploadAppend(w http.ResponseWriter, r *http.Request) {
+	if s.jobs.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	u, ok := s.uploads.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such upload %q", r.PathValue("id"))
+		return
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	if u.gone {
+		writeError(w, http.StatusNotFound, "no such upload %q", u.id)
+		return
+	}
+	if h := r.Header.Get("Upload-Offset"); h != "" {
+		off, err := strconv.ParseInt(h, 10, 64)
+		if err != nil || off < 0 {
+			writeError(w, http.StatusBadRequest, "bad Upload-Offset %q", h)
+			return
+		}
+		if off != u.size {
+			// The client's view diverged (lost response, retry). Tell it
+			// where to resume instead of corrupting the spool.
+			writeJSON(w, http.StatusConflict, uploadView{UploadID: u.id, Offset: u.size})
+			return
+		}
+	}
+	remaining := s.opts.MaxUploadBytes - u.size
+	if remaining <= 0 {
+		writeError(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.opts.MaxUploadBytes)
+		return
+	}
+	n, err := io.Copy(u.f, http.MaxBytesReader(w, r.Body, remaining))
+	if err != nil {
+		// Roll the spool back to the last good offset so a resume after
+		// the failed append stays byte-exact.
+		_ = u.f.Truncate(u.size)
+		_, _ = u.f.Seek(u.size, io.SeekStart)
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge, "upload exceeds %d bytes", s.opts.MaxUploadBytes)
+			return
+		}
+		writeError(w, http.StatusBadRequest, "appending: %v", err)
+		return
+	}
+	u.size += n
+	s.metrics.uploadBytes.Add(n)
+	writeJSON(w, http.StatusOK, uploadView{UploadID: u.id, Offset: u.size})
+}
+
+func (s *Server) handleUploadCommit(w http.ResponseWriter, r *http.Request) {
+	if s.jobs.Draining() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	u, ok := s.uploads.take(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such upload %q", r.PathValue("id"))
+		return
+	}
+	defer s.metrics.uploadsOpen.Add(-1)
+	u.mu.Lock()
+	body, err := os.ReadFile(u.path)
+	u.mu.Unlock()
+	// The spool is consumed whether or not it parses; a commit failure
+	// means re-uploading fixed bytes, not patching broken ones.
+	defer u.discard()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "reading spool: %v", err)
+		return
+	}
+	info, code, err := s.registerBytes(body, u.format)
+	if err != nil {
+		writeError(w, code, "%v", err)
+		return
+	}
+	s.metrics.uploadsCommitted.Inc()
+	writeJSON(w, code, info)
+}
+
+func (s *Server) handleUploadAbort(w http.ResponseWriter, r *http.Request) {
+	u, ok := s.uploads.take(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such upload %q", r.PathValue("id"))
+		return
+	}
+	u.discard()
+	s.metrics.uploadsOpen.Add(-1)
+	writeJSON(w, http.StatusOK, map[string]string{"status": "aborted"})
+}
+
+// registerBytes is the single ingestion point behind POST /v1/graphs
+// and upload commit: hash, dedupe against the registry, parse (any
+// ingest format, sniffed when auto), make resident, persist to CSRDir.
+func (s *Server) registerBytes(body []byte, f ingest.Format) (graphInfo, int, error) {
+	sum := sha256.Sum256(body)
+	id := "sha256:" + hex.EncodeToString(sum[:8])
+	s.metrics.graphsRegistered.Inc()
+	if g, ok := s.reg.Get(id); ok {
+		return graphInfo{
+			ID: id, Nodes: g.NumNodes(), Edges: g.NumEdges(),
+			Bytes: graphBytes(g), Cached: true,
+		}, http.StatusOK, nil
+	}
+	g, _, err := ingest.Parse(body, f, ingest.Options{Workers: s.opts.Workers})
+	if err != nil {
+		return graphInfo{}, http.StatusBadRequest, fmt.Errorf("parsing graph: %w", err)
+	}
+	s.reg.Add(id, g)
+	s.persistCSR(id, g)
+	return graphInfo{
+		ID: id, Nodes: g.NumNodes(), Edges: g.NumEdges(), Bytes: graphBytes(g),
+	}, http.StatusCreated, nil
+}
+
+// persistCSR writes the registered graph to CSRDir as a TRCSRF file
+// named after its content hash, so a restarted daemon can mmap it back
+// without reparsing. Best-effort: a full disk must not fail the
+// registration that is already resident.
+func (s *Server) persistCSR(id string, g *graph.Graph) {
+	if s.opts.CSRDir == "" {
+		return
+	}
+	path := filepath.Join(s.opts.CSRDir, strings.TrimPrefix(id, "sha256:")+".csrf")
+	if _, err := os.Stat(path); err == nil {
+		return // already persisted by an earlier run
+	}
+	if err := csrfile.WriteFile(path, g); err == nil {
+		s.metrics.graphsPersisted.Inc()
+	}
+}
+
+// LoadCSRDir warm-starts the registry from CSRDir: every *.csrf file
+// is memory-mapped (no parse, no copy — pages fault in on first use)
+// and registered under the content hash encoded in its name. Corrupt
+// or truncated files are skipped, reported in the joined error, and
+// never crash the daemon; loaded is the number of graphs now resident.
+// Mappings live until Shutdown.
+func (s *Server) LoadCSRDir() (loaded int, err error) {
+	dir := s.opts.CSRDir
+	if dir == "" {
+		return 0, nil
+	}
+	ents, readErr := os.ReadDir(dir)
+	if readErr != nil {
+		if errors.Is(readErr, os.ErrNotExist) {
+			return 0, nil
+		}
+		return 0, readErr
+	}
+	var errs []error
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".csrf") {
+			continue
+		}
+		m, openErr := csrfile.Open(filepath.Join(dir, name))
+		if openErr != nil {
+			errs = append(errs, openErr)
+			continue
+		}
+		id := "sha256:" + strings.TrimSuffix(name, ".csrf")
+		if s.reg.Add(id, m.Graph()) {
+			s.mappedMu.Lock()
+			s.mapped = append(s.mapped, m)
+			s.mappedMu.Unlock()
+			s.metrics.graphsWarmLoaded.Inc()
+			loaded++
+		} else {
+			_ = m.Close()
+		}
+	}
+	return loaded, errors.Join(errs...)
+}
+
+// closeMapped releases every warm-start mapping. Only safe once no job
+// can touch a registered graph, i.e. after a successful drain.
+func (s *Server) closeMapped() {
+	s.mappedMu.Lock()
+	mapped := s.mapped
+	s.mapped = nil
+	s.mappedMu.Unlock()
+	for _, c := range mapped {
+		_ = c.Close()
+	}
+}

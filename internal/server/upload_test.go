@@ -1,0 +1,342 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"trilist/internal/graph"
+	"trilist/internal/ingest"
+	"trilist/internal/listing"
+)
+
+// doH is do with request headers (the upload API speaks Upload-Offset).
+func (e *testEnv) doH(t testing.TB, method, path string, body []byte, hdr map[string]string) (int, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, e.ts.URL+path, bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range hdr {
+		req.Header.Set(k, v)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out bytes.Buffer
+	if _, err := out.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, out.Bytes()
+}
+
+func (e *testEnv) beginUpload(t testing.TB, spec string) uploadView {
+	t.Helper()
+	code, out := e.do(t, "POST", "/v1/graphs/upload", []byte(spec))
+	if code != http.StatusCreated {
+		t.Fatalf("begin: status %d: %s", code, out)
+	}
+	var v uploadView
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+// uploadChunked pushes data through the upload API in chunks of size
+// chunk, asserting the server's offset accounting, and commits.
+func (e *testEnv) uploadChunked(t testing.TB, data []byte, chunk int, spec string) graphInfo {
+	t.Helper()
+	up := e.beginUpload(t, spec)
+	for off := 0; off < len(data); off += chunk {
+		end := off + chunk
+		if end > len(data) {
+			end = len(data)
+		}
+		code, out := e.doH(t, "PUT", "/v1/graphs/upload/"+up.UploadID, data[off:end],
+			map[string]string{"Upload-Offset": fmt.Sprint(off)})
+		if code != http.StatusOK {
+			t.Fatalf("append at %d: status %d: %s", off, code, out)
+		}
+		var v uploadView
+		if err := json.Unmarshal(out, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v.Offset != int64(end) {
+			t.Fatalf("append at %d: server offset %d, want %d", off, v.Offset, end)
+		}
+	}
+	code, out := e.do(t, "POST", "/v1/graphs/upload/"+up.UploadID+"/commit", nil)
+	if code != http.StatusCreated && code != http.StatusOK {
+		t.Fatalf("commit: status %d: %s", code, out)
+	}
+	var gi graphInfo
+	if err := json.Unmarshal(out, &gi); err != nil {
+		t.Fatal(err)
+	}
+	return gi
+}
+
+func TestUploadLifecycleAndResume(t *testing.T) {
+	e := newTestEnv(t, Options{UploadDir: t.TempDir()})
+	up := e.beginUpload(t, "")
+	data := []byte(k4)
+
+	// First half.
+	half := len(data) / 2
+	code, _ := e.doH(t, "PUT", "/v1/graphs/upload/"+up.UploadID, data[:half],
+		map[string]string{"Upload-Offset": "0"})
+	if code != http.StatusOK {
+		t.Fatalf("first append: %d", code)
+	}
+	// A duplicated retry of the same chunk (client lost the response)
+	// conflicts and reports where to resume.
+	code, out := e.doH(t, "PUT", "/v1/graphs/upload/"+up.UploadID, data[:half],
+		map[string]string{"Upload-Offset": "0"})
+	if code != http.StatusConflict {
+		t.Fatalf("replayed append: status %d, want 409", code)
+	}
+	var v uploadView
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Offset != int64(half) {
+		t.Fatalf("conflict offset %d, want %d", v.Offset, half)
+	}
+	// Resume from the reported offset and commit.
+	if code, _ := e.doH(t, "PUT", "/v1/graphs/upload/"+up.UploadID, data[half:],
+		map[string]string{"Upload-Offset": fmt.Sprint(half)}); code != http.StatusOK {
+		t.Fatalf("resumed append: %d", code)
+	}
+	code, out = e.do(t, "POST", "/v1/graphs/upload/"+up.UploadID+"/commit", nil)
+	if code != http.StatusCreated {
+		t.Fatalf("commit: status %d: %s", code, out)
+	}
+	var gi graphInfo
+	if err := json.Unmarshal(out, &gi); err != nil {
+		t.Fatal(err)
+	}
+	if gi.Nodes != 4 || gi.Edges != 6 {
+		t.Fatalf("committed graph: %+v", gi)
+	}
+
+	// The upload id is single-use: further appends and commits 404.
+	if code, _ := e.doH(t, "PUT", "/v1/graphs/upload/"+up.UploadID, []byte("x"), nil); code != http.StatusNotFound {
+		t.Fatalf("append after commit: %d, want 404", code)
+	}
+	if code, _ := e.do(t, "POST", "/v1/graphs/upload/"+up.UploadID+"/commit", nil); code != http.StatusNotFound {
+		t.Fatalf("recommit: %d, want 404", code)
+	}
+
+	// The committed id matches a direct POST of the same bytes
+	// (content-hash identity is transport-independent).
+	gi2 := e.register(t, data)
+	if gi2.ID != gi.ID || !gi2.Cached {
+		t.Fatalf("direct registration of uploaded bytes: %+v, want cached id %s", gi2, gi.ID)
+	}
+
+	// And the graph serves jobs.
+	code, jv := e.postJob(t, JobSpec{Graph: gi.ID, Method: "E1", Wait: true})
+	if code != http.StatusOK || jv.Triangles != 4 {
+		t.Fatalf("job on uploaded graph: status %d, %+v", code, jv)
+	}
+}
+
+func TestUploadAbortAndErrors(t *testing.T) {
+	dir := t.TempDir()
+	e := newTestEnv(t, Options{UploadDir: dir})
+
+	up := e.beginUpload(t, "")
+	if code, _ := e.doH(t, "PUT", "/v1/graphs/upload/"+up.UploadID, []byte("0 1\n"), nil); code != http.StatusOK {
+		t.Fatalf("append: %d", code)
+	}
+	if code, _ := e.do(t, "DELETE", "/v1/graphs/upload/"+up.UploadID, nil); code != http.StatusOK {
+		t.Fatalf("abort: %d", code)
+	}
+	if code, _ := e.do(t, "POST", "/v1/graphs/upload/"+up.UploadID+"/commit", nil); code != http.StatusNotFound {
+		t.Fatalf("commit after abort: %d, want 404", code)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spool not cleaned after abort: %v", ents)
+	}
+
+	// Unknown ids, bad offsets, bad formats.
+	if code, _ := e.doH(t, "PUT", "/v1/graphs/upload/nope", []byte("x"), nil); code != http.StatusNotFound {
+		t.Fatalf("append to unknown id: %d", code)
+	}
+	if code, _ := e.do(t, "POST", "/v1/graphs/upload", []byte(`{"format":"xml"}`)); code != http.StatusBadRequest {
+		t.Fatalf("bad format accepted: %d", code)
+	}
+	up = e.beginUpload(t, "")
+	if code, _ := e.doH(t, "PUT", "/v1/graphs/upload/"+up.UploadID, []byte("x"),
+		map[string]string{"Upload-Offset": "banana"}); code != http.StatusBadRequest {
+		t.Fatalf("bad offset accepted: %d", code)
+	}
+
+	// A committed body that does not parse consumes the upload with 400.
+	up2 := e.beginUpload(t, "")
+	if code, _ := e.doH(t, "PUT", "/v1/graphs/upload/"+up2.UploadID, []byte("0 zebra\n"), nil); code != http.StatusOK {
+		t.Fatal("append failed")
+	}
+	if code, out := e.do(t, "POST", "/v1/graphs/upload/"+up2.UploadID+"/commit", nil); code != http.StatusBadRequest {
+		t.Fatalf("bad graph committed: %d: %s", code, out)
+	}
+}
+
+func TestUploadLimits(t *testing.T) {
+	e := newTestEnv(t, Options{UploadDir: t.TempDir(), MaxUploadBytes: 8, MaxUploads: 1})
+	up := e.beginUpload(t, "")
+	// A second concurrent upload exceeds MaxUploads.
+	if code, _ := e.do(t, "POST", "/v1/graphs/upload", nil); code != http.StatusServiceUnavailable {
+		t.Fatalf("second begin: %d, want 503", code)
+	}
+	// Appending past MaxUploadBytes is rejected and the spool rolls back.
+	if code, _ := e.doH(t, "PUT", "/v1/graphs/upload/"+up.UploadID, []byte("0123456789longer"), nil); code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversize append: %d, want 413", code)
+	}
+	code, out := e.doH(t, "PUT", "/v1/graphs/upload/"+up.UploadID, []byte("0 1\n"), nil)
+	if code != http.StatusOK {
+		t.Fatalf("append after rollback: %d", code)
+	}
+	var v uploadView
+	if err := json.Unmarshal(out, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.Offset != 4 {
+		t.Fatalf("offset after rollback %d, want 4 (failed append must not leave bytes)", v.Offset)
+	}
+}
+
+// TestUploadGoldenGraphs pushes the two real-graph fixtures through
+// the chunked upload API, runs count jobs, and cross-validates the
+// triangle counts against the brute-force lister — the end-to-end
+// "real graph in, right answer out" check of the serving path.
+func TestUploadGoldenGraphs(t *testing.T) {
+	cases := []struct {
+		file, format string
+		triangles    int64
+	}{
+		{"karate.mtx", "mtx", 45},
+		{"florentine.txt", "snap", 3},
+	}
+	e := newTestEnv(t, Options{UploadDir: t.TempDir()})
+	for _, tc := range cases {
+		t.Run(tc.file, func(t *testing.T) {
+			data, err := os.ReadFile(filepath.Join("..", "ingest", "testdata", tc.file))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Awkward chunk size on purpose: records straddle appends.
+			gi := e.uploadChunked(t, data, 37, `{"format":"`+tc.format+`"}`)
+
+			g, _, err := ingest.Parse(data, 0, ingest.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := listing.BruteForce(g, nil).Triangles
+			if want != tc.triangles {
+				t.Fatalf("fixture drifted: brute force says %d, want %d", want, tc.triangles)
+			}
+			code, jv := e.postJob(t, JobSpec{Graph: gi.ID, Method: "E1", Wait: true})
+			if code != http.StatusOK || jv.Status != "done" {
+				t.Fatalf("job: %d %+v", code, jv)
+			}
+			if jv.Triangles != want {
+				t.Fatalf("server counted %d triangles, brute force %d", jv.Triangles, want)
+			}
+		})
+	}
+}
+
+// TestCSRDirPersistAndWarmStart registers a graph with persistence on,
+// then boots a second server over the same directory and verifies the
+// graph is resident (mmap-loaded) and serves the correct count with no
+// re-registration.
+func TestCSRDirPersistAndWarmStart(t *testing.T) {
+	csrDir := t.TempDir()
+	data, err := os.ReadFile(filepath.Join("..", "ingest", "testdata", "florentine.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	e1 := newTestEnv(t, Options{CSRDir: csrDir, UploadDir: t.TempDir()})
+	gi := e1.register(t, data)
+	ents, err := os.ReadDir(csrDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 || !strings.HasSuffix(ents[0].Name(), ".csrf") {
+		t.Fatalf("no persisted CSR file: %v", ents)
+	}
+	wantName := strings.TrimPrefix(gi.ID, "sha256:") + ".csrf"
+	if ents[0].Name() != wantName {
+		t.Fatalf("persisted as %s, want %s", ents[0].Name(), wantName)
+	}
+
+	// Second daemon, same directory: warm start restores the graph.
+	e2 := newTestEnv(t, Options{CSRDir: csrDir, UploadDir: t.TempDir()})
+	loaded, err := e2.srv.LoadCSRDir()
+	if err != nil {
+		t.Fatalf("warm start: %v", err)
+	}
+	if loaded != 1 {
+		t.Fatalf("warm start loaded %d graphs, want 1", loaded)
+	}
+	code, jv := e2.postJob(t, JobSpec{Graph: gi.ID, Method: "E1", Wait: true})
+	if code != http.StatusOK || jv.Triangles != 3 {
+		t.Fatalf("job on warm-started graph: %d %+v", code, jv)
+	}
+
+	// A corrupted file is skipped with an error, never fatal.
+	if err := os.WriteFile(filepath.Join(csrDir, "beef.csrf"), []byte("TRCSRF garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	e3 := newTestEnv(t, Options{CSRDir: csrDir})
+	loaded, err = e3.srv.LoadCSRDir()
+	if err == nil {
+		t.Fatal("corrupt file loaded without error")
+	}
+	if loaded != 1 {
+		t.Fatalf("corrupt file: loaded %d, want 1 good graph", loaded)
+	}
+
+	// Re-registering the same content must not rewrite the file.
+	before, err := os.Stat(filepath.Join(csrDir, wantName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1.register(t, data)
+	after, err := os.Stat(filepath.Join(csrDir, wantName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !after.ModTime().Equal(before.ModTime()) {
+		t.Error("cached re-registration rewrote the persisted file")
+	}
+
+	// The persisted file is a valid standalone TRCSRF: the CLI loaders
+	// (ingest.LoadFile) can mmap it directly.
+	ld, err := ingest.LoadFile(filepath.Join(csrDir, wantName), 0, ingest.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ld.Close()
+	if got := listing.BruteForce(ld.Graph, nil).Triangles; got != 3 {
+		t.Fatalf("persisted file has %d triangles, want 3", got)
+	}
+	var g *graph.Graph = ld.Graph
+	if g.NumNodes() != 15 || g.NumEdges() != 20 {
+		t.Fatalf("persisted graph n=%d m=%d", g.NumNodes(), g.NumEdges())
+	}
+}
