@@ -207,8 +207,13 @@ func Read(r io.Reader) (*graph.Graph, error) {
 	if err != nil {
 		return nil, err
 	}
-	offsets := make([]int64, 0, n+1)
-	nbrs := make([]int32, 0, 2*m)
+	// Capacities are clamped to one read chunk rather than taken from
+	// the header: n and m are attacker-controlled until the payload
+	// checksum verifies, so the slices may only grow as payload bytes
+	// actually arrive. Truncated input fails at ReadFull after at most
+	// one chunk, long before a forged multi-GiB claim is reserved.
+	offsets := make([]int64, 0, min(n+1, 1<<13))
+	nbrs := make([]int32, 0, min(2*m, 1<<14))
 	crc := uint32(0)
 	buf := make([]byte, 1<<16)
 	// Offsets, then neighbors, in bounded reads that keep the running
@@ -253,6 +258,34 @@ func Read(r io.Reader) (*graph.Graph, error) {
 		return nil, fmt.Errorf("csrfile: payload checksums but is not a valid graph: %w", err)
 	}
 	return g, nil
+}
+
+// ReadBytes deserializes a complete in-memory TRCSRF image. Unlike the
+// streaming Read, it knows the total input size up front, so it checks
+// that the header's claimed n and m match len(data) exactly before
+// allocating anything — the same backstop Open applies via file size,
+// and the reason the server's ingestion path uses it: a 64-byte forged
+// header cannot drive allocations beyond the bytes actually received.
+func ReadBytes(data []byte) (*graph.Graph, error) {
+	n, m, wantCRC, err := decodeHeader(data)
+	if err != nil {
+		return nil, err
+	}
+	if want := headerSize + payloadSize(n, m); int64(len(data)) != want {
+		return nil, fmt.Errorf("csrfile: input is %d bytes but the header implies %d (truncated or padded)",
+			len(data), want)
+	}
+	// n+1 and 2m fit in int: the size check bounds both by len(data)/4.
+	offsets := make([]int64, int(n+1))
+	for i := range offsets {
+		offsets[i] = int64(binary.LittleEndian.Uint64(data[headerSize+8*i:]))
+	}
+	nbrs := make([]int32, int(2*m))
+	base := headerSize + 8*int(n+1)
+	for i := range nbrs {
+		nbrs[i] = int32(binary.LittleEndian.Uint32(data[base+4*i:]))
+	}
+	return verifyPayload(data, n, m, wantCRC, offsets, nbrs)
 }
 
 // Mapped is a graph backed by an open file mapping (or, on platforms

@@ -6,6 +6,7 @@ import (
 	"hash/crc32"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -61,6 +62,15 @@ func TestRoundTrip(t *testing.T) {
 			}
 			if !got.Equal(g) {
 				t.Fatal("Read round trip changed the graph")
+			}
+
+			// In-memory reader (the server ingestion path).
+			got, err = ReadBytes(img)
+			if err != nil {
+				t.Fatalf("ReadBytes: %v", err)
+			}
+			if !got.Equal(g) {
+				t.Fatal("ReadBytes round trip changed the graph")
 			}
 
 			// Mmap loader, via a real file.
@@ -176,6 +186,13 @@ func TestFaultInjection(t *testing.T) {
 			if _, err := Read(bytes.NewReader(tc.img)); err == nil || !strings.Contains(err.Error(), tc.want) {
 				t.Errorf("Read error %v, want substring %q", err, tc.want)
 			}
+			// ReadBytes rejects truncations at its exact-size check, so
+			// those surface as the size mismatch instead.
+			if _, err := ReadBytes(tc.img); err == nil || (!strings.Contains(err.Error(), tc.want) &&
+				!strings.Contains(err.Error(), "truncated or padded") &&
+				!strings.Contains(err.Error(), "shorter than")) {
+				t.Errorf("ReadBytes error %v, want substring %q", err, tc.want)
+			}
 			path := filepath.Join(dir, "fault.csrf")
 			if err := os.WriteFile(path, tc.img, 0o644); err != nil {
 				t.Fatal(err)
@@ -204,9 +221,36 @@ func TestFaultInjection(t *testing.T) {
 	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "truncated or padded") {
 		t.Errorf("padded file: %v, want size mismatch", err)
 	}
+	if _, err := ReadBytes(padded); err == nil || !strings.Contains(err.Error(), "truncated or padded") {
+		t.Errorf("ReadBytes padded: %v, want size mismatch", err)
+	}
 
 	if _, err := Open(filepath.Join(dir, "missing.csrf")); err == nil {
 		t.Error("Open accepted a missing file")
+	}
+}
+
+// TestForgedHeaderBoundedAllocation: a checksum-consistent header
+// claiming n=2^31 describes a ~16 GiB payload, and it is reachable
+// remotely — Detect sniffs the TRCSRF magic on POST /v1/graphs and
+// upload commit. Both readers must fail with a descriptive error after
+// allocating memory proportional to the bytes that actually arrived
+// (64), never to the header's claim.
+func TestForgedHeaderBoundedAllocation(t *testing.T) {
+	forged := encodeHeader(1<<31, 0, 0)
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	_, errRead := Read(bytes.NewReader(forged[:]))
+	_, errBytes := ReadBytes(forged[:])
+	runtime.ReadMemStats(&after)
+	if errRead == nil || !strings.Contains(errRead.Error(), "truncated offsets") {
+		t.Errorf("Read: %v, want truncated offsets", errRead)
+	}
+	if errBytes == nil || !strings.Contains(errBytes.Error(), "truncated or padded") {
+		t.Errorf("ReadBytes: %v, want size mismatch", errBytes)
+	}
+	if delta := after.TotalAlloc - before.TotalAlloc; delta > 1<<24 {
+		t.Errorf("readers allocated %d bytes handling a 64-byte forged header", delta)
 	}
 }
 

@@ -141,7 +141,7 @@ func Parse(data []byte, f Format, o Options) (*graph.Graph, Format, error) {
 		return g, f, err
 	case FormatCSR:
 		sp := o.Recorder.Start(obsv.StageParse)
-		g, err := csrfile.Read(bytes.NewReader(data))
+		g, err := csrfile.ReadBytes(data)
 		sp.End()
 		return g, f, err
 	case FormatBinary:

@@ -59,7 +59,24 @@ type uploadSet struct {
 }
 
 func newUploadSet(dir string, max int) *uploadSet {
+	sweepStaleSpools(dir)
 	return &uploadSet{dir: dir, max: max, byID: make(map[string]*upload)}
+}
+
+// sweepStaleSpools removes spool files orphaned by a previous daemon
+// that died before closeAll ran, so a kill -9 loop cannot fill the
+// temp dir with MaxUploadBytes-sized leftovers. A concurrently running
+// daemon sharing the directory is unharmed: its appends and commits go
+// through the descriptor it has held since begin, never back through
+// the path, so unlinking a live spool only hides the name.
+func sweepStaleSpools(dir string) {
+	matches, err := filepath.Glob(filepath.Join(dir, "trid-upload-*.spool"))
+	if err != nil {
+		return
+	}
+	for _, p := range matches {
+		os.Remove(p)
+	}
 }
 
 var errUploadsFull = errors.New("too many in-flight uploads")
@@ -237,7 +254,20 @@ func (s *Server) handleUploadCommit(w http.ResponseWriter, r *http.Request) {
 	}
 	defer s.metrics.uploadsOpen.Add(-1)
 	u.mu.Lock()
-	body, err := os.ReadFile(u.path)
+	// Mark the upload gone before releasing the lock: an append that
+	// looked the upload up before take() and is now blocked on u.mu must
+	// see 404, not write bytes into a spool that is about to be
+	// discarded and report them accepted. The read goes through the
+	// descriptor held since begin, so a sweeping sibling daemon
+	// unlinking the path cannot corrupt the commit either.
+	u.gone = true
+	body := make([]byte, u.size)
+	var err error
+	if u.f == nil {
+		err = errors.New("spool already closed")
+	} else if u.size > 0 {
+		_, err = u.f.ReadAt(body, 0)
+	}
 	u.mu.Unlock()
 	// The spool is consumed whether or not it parses; a commit failure
 	// means re-uploading fixed bytes, not patching broken ones.
@@ -270,8 +300,10 @@ func (s *Server) handleUploadAbort(w http.ResponseWriter, r *http.Request) {
 // and upload commit: hash, dedupe against the registry, parse (any
 // ingest format, sniffed when auto), make resident, persist to CSRDir.
 func (s *Server) registerBytes(body []byte, f ingest.Format) (graphInfo, int, error) {
+	// The full digest is the identity: a truncated hash would let a
+	// birthday-colliding pre-registration impersonate a future upload.
 	sum := sha256.Sum256(body)
-	id := "sha256:" + hex.EncodeToString(sum[:8])
+	id := "sha256:" + hex.EncodeToString(sum[:])
 	s.metrics.graphsRegistered.Inc()
 	if g, ok := s.reg.Get(id); ok {
 		return graphInfo{

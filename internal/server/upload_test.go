@@ -218,6 +218,56 @@ func TestUploadLimits(t *testing.T) {
 	}
 }
 
+// TestStaleSpoolSweep: spool files orphaned by a daemon that died
+// without running closeAll are removed when the next daemon starts,
+// and the swept directory still serves fresh uploads.
+func TestStaleSpoolSweep(t *testing.T) {
+	dir := t.TempDir()
+	stale := filepath.Join(dir, "trid-upload-deadbeef.spool")
+	if err := os.WriteFile(stale, []byte("orphan"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	e := newTestEnv(t, Options{UploadDir: dir})
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Fatalf("stale spool not swept on start (stat err: %v)", err)
+	}
+	gi := e.uploadChunked(t, []byte(k4), 4, "")
+	if gi.Nodes != 4 {
+		t.Fatalf("upload after sweep: %+v", gi)
+	}
+	// Graph identity is the full sha256 digest; a truncated hash would
+	// be open to birthday-collision impersonation.
+	if len(gi.ID) != len("sha256:")+64 {
+		t.Fatalf("graph id %q is not a full sha256 digest", gi.ID)
+	}
+}
+
+// TestCommitMarksUploadGone: an append can fetch the upload just
+// before commit takes it from the set, then block on the upload mutex.
+// Commit's critical section must leave the upload marked gone so that
+// racing append 404s instead of spooling bytes into a file about to be
+// discarded and reporting them accepted.
+func TestCommitMarksUploadGone(t *testing.T) {
+	e := newTestEnv(t, Options{UploadDir: t.TempDir()})
+	up := e.beginUpload(t, "")
+	if code, _ := e.doH(t, "PUT", "/v1/graphs/upload/"+up.UploadID, []byte(k4), nil); code != http.StatusOK {
+		t.Fatalf("append: %d", code)
+	}
+	u, ok := e.srv.uploads.get(up.UploadID)
+	if !ok {
+		t.Fatal("upload not found in set")
+	}
+	if code, out := e.do(t, "POST", "/v1/graphs/upload/"+up.UploadID+"/commit", nil); code != http.StatusCreated {
+		t.Fatalf("commit: %d: %s", code, out)
+	}
+	u.mu.Lock()
+	gone := u.gone
+	u.mu.Unlock()
+	if !gone {
+		t.Fatal("commit left the upload live; an append racing take() would spool into the discarded file and return 200")
+	}
+}
+
 // TestUploadGoldenGraphs pushes the two real-graph fixtures through
 // the chunked upload API, runs count jobs, and cross-validates the
 // triangle counts against the brute-force lister — the end-to-end
