@@ -39,7 +39,7 @@ func main() {
 
 func run(args []string, w io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	table := fs.String("table", "all", "table to regenerate: 3, 5, 6, 7, 8, 9, 10, 11, 12, scaling, kernels, pipeline, or all")
+	table := fs.String("table", "all", "table to regenerate: 3, 5, 6, 7, 8, 9, 10, 11, 12, scaling, kernels, pipeline, planner, or all")
 	scale := fs.String("scale", "default", "protocol scale: default or paper")
 	sizes := fs.String("sizes", "", "comma-separated graph sizes (overrides scale)")
 	seqs := fs.Int("seqs", 0, "degree sequences per point (overrides scale)")
@@ -58,7 +58,11 @@ func run(args []string, w io.Writer) error {
 	tolerance := fs.Float64("tolerance", 0.25,
 		"fractional best-ms slowdown the -baseline gate tolerates (0.25 = 25%)")
 	trials := fs.Int("trials", 0, "timed repetitions per pipeline cell (0 = default 3)")
-	pipeN := fs.Int("n", 0, "graph size for -table pipeline (0 = default 50000)")
+	pipeN := fs.Int("n", 0, "graph size for -table pipeline/planner (0 = table default)")
+	plannerOut := fs.String("planner-out", "BENCH_planner.json",
+		"where -table planner writes its JSON validation document (empty = don't write)")
+	plannerBase := fs.String("planner-baseline", "",
+		"recorded BENCH_planner.json to gate -table planner against (empty = no gate)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -309,6 +313,58 @@ func run(args []string, w io.Writer) error {
 					*baseline, len(violations))
 			}
 			fmt.Fprintf(w, "baseline gate passed (%s, tolerance %.0f%%)\n", *baseline, *tolerance*100)
+		}
+	}
+	if *table == "planner" {
+		// Predicted-vs-measured planner validation. Opt-in like pipeline,
+		// but every number is deterministic given the seed, so its gate is
+		// exact — no timing tolerance, no host exemptions.
+		ran = true
+		ncfg := experiments.PlannerConfig{N: *pipeN, Seed: cfg.Seed, Workers: *workers}
+		t0 := time.Now()
+		bench, err := experiments.TablePlanner(ncfg)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w, experiments.FormatPlanner(bench))
+		fmt.Fprintf(w, "(computed in %v)\n", time.Since(t0).Round(time.Millisecond))
+		if *plannerOut != "" {
+			f, err := os.Create(*plannerOut)
+			if err != nil {
+				return err
+			}
+			werr := experiments.WritePlannerJSON(f, bench)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
+			}
+			fmt.Fprintf(w, "wrote %s\n", *plannerOut)
+		}
+		if err := writeCSV("planner.csv", func(f io.Writer) error {
+			return experiments.WritePlannerCSV(f, bench)
+		}); err != nil {
+			return err
+		}
+		if *plannerBase != "" {
+			f, err := os.Open(*plannerBase)
+			if err != nil {
+				return err
+			}
+			base, err := experiments.ReadPlannerJSON(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			if violations := experiments.ComparePlanner(bench, base); len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintln(w, "MISPREDICTION DRIFT:", v)
+				}
+				return fmt.Errorf("planner validation drifted from %s (%d violations)",
+					*plannerBase, len(violations))
+			}
+			fmt.Fprintf(w, "planner baseline gate passed (%s)\n", *plannerBase)
 		}
 	}
 	if !ran {

@@ -30,8 +30,15 @@
 // is. It is empty (disabled) by default.
 //
 //	curl -X POST --data-binary @graph.txt localhost:8080/v1/graphs
-//	curl -X POST -d '{"graph":"sha256:...","method":"E1","wait":true}' \
+//	curl localhost:8080/v1/graphs/sha256:.../plan
+//	curl -X POST -d '{"graph":"sha256:...","method":"auto","wait":true}' \
 //	     localhost:8080/v1/jobs
+//
+// Jobs with method=auto (the default) execute the planner's
+// predicted-cheapest (method, order) pair for the graph's degree
+// distribution and report planned_method/planned_order/predicted_cost
+// plus the actual advertised work; GET /v1/graphs/{id}/plan previews
+// the full ranking without running anything.
 package main
 
 import (

@@ -3,29 +3,35 @@
 //
 // Usage:
 //
-//	trilist -in graph.txt [-method T1] [-order auto] [-kernel auto] \
-//	        [-print] [-seed 1] [-workers 1] [-parts 1] [-spill dir] \
-//	        [-timeout 0]
+//	trilist -in graph.txt [-method auto] [-order auto] [-kernel auto] \
+//	        [-plan] [-print] [-seed 1] [-workers 1] [-parts 1] \
+//	        [-spill dir] [-timeout 0]
 //
-// With -order auto the paper-optimal order for the method is used
-// (θ_D for T1/E1, RR for T2, CRR for E4, ...). -kernel picks the
-// neighbor-intersection strategy (merge, gallop, bitmap, or auto, the
-// adaptive default); kernels change only wall-clock speed — the
-// triangle set and every reported cost meter are kernel-invariant.
-// -print emits each triangle as "x y z" in relabeled IDs; omit it to
-// report only the count and cost meters. Input may be a MatrixMarket
-// .mtx file, a SNAP-style text edge list, the mmap-able TRCSRF CSR
-// format, or the binary CSR stream — auto-detected, or pinned with
-// -format (mtx, snap, csr, binary). TRCSRF files given via -in are
-// memory-mapped rather than parsed; text formats parse chunk-parallel
-// under -workers. -workers N parallelizes the sweep and the rank and
-// orient stages (results are identical at any worker count); -parts P > 1
-// switches to the external-memory partitioned lister (ignoring -method),
-// spilling blocks to -spill (or memory if unset). -timeout bounds the
-// sweep (including partitioned runs, cancelled between block triples);
-// on expiry trilist exits non-zero after reporting the partial triangle
-// count. -stages prints a per-stage wall-clock breakdown (rank, orient,
-// list) after the run.
+// -method auto (the default) plans the run: the empirical degree
+// distribution is fitted from the graph and the predicted-cheapest
+// (method, order) pair under eq. (50) is executed; an explicit -order
+// constrains the choice to that order (any but degenerate, which the
+// model cannot price from the distribution). -plan prints the full
+// ranked prediction table and exits without sweeping — the explain
+// mode. With an explicit method and -order auto, the paper-optimal
+// order for the method is used (θ_D for T1/E1, RR for T2, CRR for
+// E4, ...). -kernel picks the neighbor-intersection strategy (merge,
+// gallop, bitmap, or auto, the adaptive default); kernels change only
+// wall-clock speed — the triangle set and every reported cost meter are
+// kernel-invariant. -print emits each triangle as "x y z" in relabeled
+// IDs; omit it to report only the count and cost meters. Input may be a
+// MatrixMarket .mtx file, a SNAP-style text edge list, the mmap-able
+// TRCSRF CSR format, or the binary CSR stream — auto-detected, or
+// pinned with -format (mtx, snap, csr, binary). TRCSRF files given via
+// -in are memory-mapped rather than parsed; text formats parse
+// chunk-parallel under -workers. -workers N parallelizes the sweep and
+// the rank and orient stages (results are identical at any worker
+// count); -parts P > 1 switches to the external-memory partitioned
+// lister (ignoring -method), spilling blocks to -spill (or memory if
+// unset). -timeout bounds the sweep (including partitioned runs,
+// cancelled between block triples); on expiry trilist exits non-zero
+// after reporting the partial triangle count. -stages prints a
+// per-stage wall-clock breakdown (rank, orient, list) after the run.
 package main
 
 import (
@@ -45,6 +51,7 @@ import (
 	"trilist/internal/listing"
 	"trilist/internal/obsv"
 	"trilist/internal/order"
+	"trilist/internal/planner"
 )
 
 func main() {
@@ -58,9 +65,10 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("trilist", flag.ContinueOnError)
 	in := fs.String("in", "", "input graph file (default stdin)")
 	formatName := fs.String("format", "auto", "input format: auto, mtx, snap, csr, binary")
-	methodName := fs.String("method", "T1", "listing method: T1-T6, E1-E6, L1-L6")
+	methodName := fs.String("method", "auto", "listing method: auto (planner-chosen) or T1-T6, E1-E6, L1-L6")
 	orderName := fs.String("order", "auto", "order: auto, ascending, descending, round-robin, crr, uniform, degenerate")
 	kernelName := fs.String("kernel", "auto", "intersection kernel: merge, gallop, bitmap, auto")
+	plan := fs.Bool("plan", false, "print the planner's ranked (method, order) cost table and exit without running")
 	print := fs.Bool("print", false, "print each triangle (relabeled IDs x y z)")
 	seed := fs.Uint64("seed", 1, "seed for the uniform order")
 	workers := fs.Int("workers", 1, "parallel goroutines for prepare and the sweep (sweep needs a visitor-safe method)")
@@ -71,7 +79,15 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	method, err := parseMethod(*methodName)
+	methodAuto := *methodName == "" || strings.EqualFold(*methodName, "auto")
+	var method listing.Method
+	var err error
+	if !methodAuto {
+		if method, err = parseMethod(*methodName); err != nil {
+			return err
+		}
+	}
+	kind, orderAuto, err := parseOrder(*orderName)
 	if err != nil {
 		return err
 	}
@@ -102,21 +118,43 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 	}
-	kind, err := parseOrder(*orderName, method)
-	if err != nil {
+	w := bufio.NewWriter(out)
+	defer w.Flush()
+	if *plan {
+		// Explain mode: price the grid, print the ranking, run nothing.
+		p, err := planner.Compute(g, planner.WithWorkers(*workers))
+		if err != nil {
+			return err
+		}
+		_, err = io.WriteString(w, p.Format())
 		return err
+	}
+	fmt.Fprintf(w, "# graph: n=%d m=%d\n", g.NumNodes(), g.NumEdges())
+	if methodAuto {
+		p, err := planner.Compute(g, planner.WithWorkers(*workers))
+		if err != nil {
+			return err
+		}
+		c := p.Best()
+		if !orderAuto {
+			var ok bool
+			if c, ok = p.BestUnder(kind); !ok {
+				return fmt.Errorf("-method auto cannot plan order %q: its cost is not predictable from the degree distribution; name a method explicitly", *orderName)
+			}
+		}
+		method, kind = c.Method, c.Order
+		fmt.Fprintf(w, "# planned: method=%v order=%v predicted-cost=%.6g\n", method, kind, c.Total)
+	} else if orderAuto {
+		kind = core.Recommended(method)
 	}
 	kern, err := listing.ParseKernel(*kernelName)
 	if err != nil {
 		return err
 	}
-	w := bufio.NewWriter(out)
-	defer w.Flush()
 	var visit listing.Visitor
 	if *print {
 		visit = func(x, y, z int32) { fmt.Fprintf(w, "%d %d %d\n", x, y, z) }
 	}
-	fmt.Fprintf(w, "# graph: n=%d m=%d\n", g.NumNodes(), g.NumEdges())
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
@@ -201,26 +239,29 @@ func parseMethod(s string) (listing.Method, error) {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown method %q (want T1-T6, E1-E6, L1-L6)", s)
+	return 0, fmt.Errorf("unknown method %q (want auto or T1-T6, E1-E6, L1-L6)", s)
 }
 
-func parseOrder(s string, m listing.Method) (order.Kind, error) {
+// parseOrder resolves an order name; auto reports "" or "auto", whose
+// meaning depends on how the method resolved (planner's choice under
+// -method auto, the paper-recommended order otherwise).
+func parseOrder(s string) (kind order.Kind, auto bool, err error) {
 	switch strings.ToLower(s) {
-	case "auto":
-		return core.Recommended(m), nil
+	case "", "auto":
+		return 0, true, nil
 	case "ascending", "asc", "a":
-		return order.KindAscending, nil
+		return order.KindAscending, false, nil
 	case "descending", "desc", "d":
-		return order.KindDescending, nil
+		return order.KindDescending, false, nil
 	case "round-robin", "roundrobin", "rr":
-		return order.KindRoundRobin, nil
+		return order.KindRoundRobin, false, nil
 	case "crr", "complementary-round-robin":
-		return order.KindCRR, nil
+		return order.KindCRR, false, nil
 	case "uniform", "random", "u":
-		return order.KindUniform, nil
+		return order.KindUniform, false, nil
 	case "degenerate", "degen", "smallest-last":
-		return order.KindDegenerate, nil
+		return order.KindDegenerate, false, nil
 	default:
-		return 0, fmt.Errorf("unknown order %q", s)
+		return 0, false, fmt.Errorf("unknown order %q", s)
 	}
 }

@@ -170,14 +170,55 @@ func TestRunStages(t *testing.T) {
 	}
 }
 
+func TestRunPlannerModes(t *testing.T) {
+	path := writeTempGraph(t, k4)
+	// -plan prints the ranked table and runs nothing.
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-plan"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"planner: nodes=4 edges=6", "rank", "per-node", "T1+descending"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("-plan output missing %q:\n%s", want, s)
+		}
+	}
+	if strings.Contains(s, "triangles=") {
+		t.Fatalf("-plan must not sweep:\n%s", s)
+	}
+	// The default method is auto: the run reports what was planned, then
+	// executes it.
+	out.Reset()
+	if err := run([]string{"-in", path}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s = out.String()
+	if !strings.Contains(s, "# planned: method=") || !strings.Contains(s, "triangles=4") {
+		t.Fatalf("auto run incomplete:\n%s", s)
+	}
+	// auto constrained to an explicit order executes under that order.
+	out.Reset()
+	if err := run([]string{"-in", path, "-order", "crr"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "order=complementary-round-robin") {
+		t.Fatalf("constrained auto run ignored -order:\n%s", out.String())
+	}
+	// ...but the degenerate order cannot be planned.
+	if err := run([]string{"-in", path, "-order", "degen"}, &out); err == nil ||
+		!strings.Contains(err.Error(), "cannot plan order") {
+		t.Fatalf("auto+degenerate accepted: %v", err)
+	}
+}
+
 func TestParseHelpers(t *testing.T) {
 	if m, err := parseMethod("e5"); err != nil || m != listing.E5 {
 		t.Fatalf("parseMethod(e5) = %v, %v", m, err)
 	}
-	if k, err := parseOrder("auto", listing.E4); err != nil || k != order.KindCRR {
-		t.Fatalf("parseOrder(auto, E4) = %v, %v", k, err)
+	if _, auto, err := parseOrder("auto"); err != nil || !auto {
+		t.Fatalf("parseOrder(auto) = auto=%v, %v", auto, err)
 	}
-	if k, err := parseOrder("smallest-last", listing.T1); err != nil || k != order.KindDegenerate {
-		t.Fatalf("parseOrder(smallest-last) = %v, %v", k, err)
+	if k, auto, err := parseOrder("smallest-last"); err != nil || auto || k != order.KindDegenerate {
+		t.Fatalf("parseOrder(smallest-last) = %v, auto=%v, %v", k, auto, err)
 	}
 }

@@ -1,15 +1,13 @@
 package core
 
 import (
-	"fmt"
-	"math"
-
 	"trilist/internal/degseq"
 	"trilist/internal/digraph"
 	"trilist/internal/graph"
 	"trilist/internal/listing"
 	"trilist/internal/model"
 	"trilist/internal/order"
+	"trilist/internal/planner"
 )
 
 // This file implements the paper's §2.4 runtime decision rule between
@@ -34,24 +32,17 @@ type Choice struct {
 
 // ChooseForOriented applies the §2.4 rule to an already-prepared
 // descending orientation: both costs are evaluated exactly from the
-// orientation's degree sums.
+// orientation's degree sums, and the comparison itself is
+// planner.TwoMethod — the same arithmetic the distribution-based
+// ChooseForDist uses, so the repo has one selection code path.
 func ChooseForOriented(o *digraph.Oriented, speedRatio float64) (Choice, error) {
-	if speedRatio <= 0 {
-		return Choice{}, fmt.Errorf("core: speed ratio must be positive, got %v", speedRatio)
-	}
 	t1 := listing.ModelCost(o, listing.T1)
 	e1 := listing.ModelCost(o, listing.E1)
-	wn := math.Inf(1)
-	if t1 > 0 {
-		wn = e1 / t1
-	} else if e1 == 0 {
-		wn = 1
+	m, wn, err := planner.TwoMethod(t1, e1, speedRatio)
+	if err != nil {
+		return Choice{}, err
 	}
-	c := Choice{WN: wn, SpeedRatio: speedRatio, Method: listing.T1}
-	if wn < speedRatio {
-		c.Method = listing.E1
-	}
-	return c, nil
+	return Choice{Method: m, WN: wn, SpeedRatio: speedRatio}, nil
 }
 
 // CountAuto counts triangles with the method the §2.4 rule selects for
@@ -77,9 +68,6 @@ func CountAuto(g *graph.Graph, speedRatio float64) (int64, Choice, error) {
 // is infinite while T1's is finite (Pareto α ∈ (4/3, 1.5]), w_n grows
 // without bound and T1 wins for every large n regardless of hardware.
 func ChooseForDist(dist degseq.Dist, speedRatio float64) (Choice, error) {
-	if speedRatio <= 0 {
-		return Choice{}, fmt.Errorf("core: speed ratio must be positive, got %v", speedRatio)
-	}
 	t1, err := model.DiscreteCost(model.Spec{Method: listing.T1, Order: order.KindDescending}, dist)
 	if err != nil {
 		return Choice{}, err
@@ -88,13 +76,9 @@ func ChooseForDist(dist degseq.Dist, speedRatio float64) (Choice, error) {
 	if err != nil {
 		return Choice{}, err
 	}
-	wn := math.Inf(1)
-	if t1 > 0 {
-		wn = e1 / t1
+	m, wn, err := planner.TwoMethod(t1, e1, speedRatio)
+	if err != nil {
+		return Choice{}, err
 	}
-	c := Choice{WN: wn, SpeedRatio: speedRatio, Method: listing.T1}
-	if wn < speedRatio {
-		c.Method = listing.E1
-	}
-	return c, nil
+	return Choice{Method: m, WN: wn, SpeedRatio: speedRatio}, nil
 }

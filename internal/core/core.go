@@ -24,6 +24,7 @@ import (
 	"trilist/internal/model"
 	"trilist/internal/obsv"
 	"trilist/internal/order"
+	"trilist/internal/planner"
 	"trilist/internal/stats"
 )
 
@@ -57,21 +58,10 @@ type Config struct {
 }
 
 // Recommended returns the paper-optimal order for the method
-// (Corollaries 1–2): θ_D for T1/T4/E1/E2/L2/L6-shaped costs, θ_A for
-// their reverses, RR for T2/T5/L1/L3, and CRR for E4/E6/L4/L5.
+// (Corollaries 1–2). It delegates to planner.RecommendedOrder, the
+// single home of the selection tables.
 func Recommended(m listing.Method) order.Kind {
-	switch m {
-	case listing.T1, listing.T4, listing.E1, listing.E2, listing.L2, listing.L6:
-		return order.KindDescending
-	case listing.T3, listing.T6, listing.E3, listing.L4:
-		return order.KindAscending
-	case listing.T2, listing.T5, listing.L1, listing.L3:
-		return order.KindRoundRobin
-	case listing.E4, listing.E6, listing.E5, listing.L5:
-		return order.KindCRR
-	default:
-		return order.KindDescending
-	}
+	return planner.RecommendedOrder(m)
 }
 
 // Result reports one listing run.

@@ -360,6 +360,33 @@ func FromDegrees(d []int64) (*Empirical, error) {
 	return NewEmpirical(w)
 }
 
+// FromHistogram builds the empirical distribution from a degree
+// histogram (counts[d] = number of nodes with degree d, as produced by
+// graph.DegreeHistogram). Isolated nodes (counts[0]) are excluded: a
+// Dist lives on {1, 2, ...}, and degree-0 nodes touch no triangle and
+// contribute zero cost to every method.
+func FromHistogram(counts []int64) (*Empirical, error) {
+	max := 0
+	for d, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("degseq: histogram count[%d] = %d is negative", d, c)
+		}
+		if d > 0 && c > 0 {
+			max = d
+		}
+	}
+	if max == 0 {
+		return nil, fmt.Errorf("degseq: histogram has no nodes of degree >= 1")
+	}
+	w := make([]float64, max)
+	for d := 1; d <= max; d++ {
+		if d < len(counts) {
+			w[d-1] = float64(counts[d])
+		}
+	}
+	return NewEmpirical(w)
+}
+
 // CDF returns P(D <= x).
 func (e *Empirical) CDF(x int64) float64 {
 	if x < 1 {
@@ -404,6 +431,16 @@ func (e *Empirical) Mean() float64 {
 	var sum stats.KahanSum
 	for i, p := range e.pmf {
 		sum.Add(float64(i+1) * p)
+	}
+	return sum.Value()
+}
+
+// SecondMoment returns E[D²]. Always finite: the support is bounded.
+func (e *Empirical) SecondMoment() float64 {
+	var sum stats.KahanSum
+	for i, p := range e.pmf {
+		x := float64(i + 1)
+		sum.Add(x * x * p)
 	}
 	return sum.Value()
 }

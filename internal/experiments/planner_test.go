@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyPlannerConfig keeps the validation table fast enough for CI while
+// leaving the grid complete.
+func tinyPlannerConfig() PlannerConfig {
+	return PlannerConfig{N: 1500, Seed: 3, Workers: 2}
+}
+
+func TestTablePlanner(t *testing.T) {
+	b, err := TablePlanner(tinyPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Schema != PlannerSchema || b.N != 1500 || b.Alpha != 1.5 {
+		t.Fatalf("bench header wrong: %+v", b)
+	}
+	if len(b.Rows) != 2*18*5 {
+		t.Fatalf("got %d rows, want 180 (2 workloads × 18 methods × 5 orders)", len(b.Rows))
+	}
+	if len(b.Summary) != 2 {
+		t.Fatalf("got %d summaries, want 2", len(b.Summary))
+	}
+	for _, r := range b.Rows {
+		if r.Measured <= 0 || r.Predicted <= 0 {
+			t.Fatalf("row %s has non-positive cost: %+v", r.key(), r)
+		}
+		// Predictions track measurements within small-graph noise; an
+		// integer-factor miss means the model and the meter diverged.
+		if r.Ratio < 0.3 || r.Ratio > 3 {
+			t.Errorf("row %s ratio %v out of plausible range", r.key(), r.Ratio)
+		}
+	}
+	for _, s := range b.Summary {
+		if s.MeasuredRank < 1 || s.Overhead < 1 {
+			t.Errorf("summary %+v inconsistent: rank and overhead are bounded below by 1", s)
+		}
+	}
+}
+
+func TestTablePlannerWorkerDeterminism(t *testing.T) {
+	var want []byte
+	for _, workers := range []int{1, 4} {
+		cfg := tinyPlannerConfig()
+		cfg.Workers = workers
+		b, err := TablePlanner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The host stamp is the one worker-independent-but-machine-shaped
+		// field; blank it so the comparison pins only measurements.
+		b.NumCPU, b.GoMaxProcs = 0, 0
+		var buf bytes.Buffer
+		if err := WritePlannerJSON(&buf, b); err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = buf.Bytes()
+		} else if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("workers=%d output differs:\n%s\nwant:\n%s", workers, buf.Bytes(), want)
+		}
+	}
+}
+
+func TestPlannerJSONRoundTrip(t *testing.T) {
+	b, err := TablePlanner(tinyPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WritePlannerJSON(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadPlannerJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ComparePlanner(back, b); len(v) > 0 {
+		t.Fatalf("round-trip changed the document: %v", v)
+	}
+	if _, err := ReadPlannerJSON(strings.NewReader(`{"schema":"nope"}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, err := ReadPlannerJSON(strings.NewReader(`{"schema":"` + PlannerSchema + `","bogus":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+}
+
+func TestComparePlanner(t *testing.T) {
+	b, err := TablePlanner(tinyPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ComparePlanner(b, b); len(v) > 0 {
+		t.Fatalf("self-comparison found violations: %v", v)
+	}
+
+	drift := *b
+	drift.Rows = append([]PlannerRow(nil), b.Rows...)
+	drift.Rows[0].Measured += 7
+	v := ComparePlanner(&drift, b)
+	if len(v) != 1 || !strings.Contains(v[0], "measured_ops") {
+		t.Fatalf("measured drift not caught: %v", v)
+	}
+
+	short := *b
+	short.Rows = b.Rows[1:]
+	short.Summary = b.Summary[1:]
+	v = ComparePlanner(&short, b)
+	if len(v) != 2 {
+		t.Fatalf("missing row+summary should be 2 violations: %v", v)
+	}
+	for _, s := range v {
+		if !strings.Contains(s, "missing") {
+			t.Errorf("violation %q does not say missing", s)
+		}
+	}
+
+	pred := *b
+	pred.Rows = append([]PlannerRow(nil), b.Rows...)
+	pred.Rows[3].Predicted *= 1.5
+	v = ComparePlanner(&pred, b)
+	if len(v) != 1 || !strings.Contains(v[0], "predicted_ops") {
+		t.Fatalf("predicted drift not caught: %v", v)
+	}
+}
+
+func TestFormatPlannerAndCSV(t *testing.T) {
+	b, err := TablePlanner(tinyPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatPlanner(b)
+	for _, want := range []string{"Planner validation", "predicted-best", "root", "linear", "T1", "descending"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("format output missing %q:\n%s", want, text)
+		}
+	}
+	var buf bytes.Buffer
+	if err := WritePlannerCSV(&buf, b); err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(buf.String(), "\n"); lines != len(b.Rows)+1 {
+		t.Errorf("CSV has %d lines, want %d rows + header", lines, len(b.Rows))
+	}
+}

@@ -1,0 +1,266 @@
+package planner
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"trilist/internal/degseq"
+	"trilist/internal/gen"
+	"trilist/internal/graph"
+	"trilist/internal/ingest"
+	"trilist/internal/listing"
+	"trilist/internal/order"
+	"trilist/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata golden files")
+
+func TestPlannableOrders(t *testing.T) {
+	if len(Orders) != 5 {
+		t.Fatalf("plannable grid has %d orders, want 5", len(Orders))
+	}
+	for _, k := range Orders {
+		if !Plannable(k) {
+			t.Errorf("order %v in Orders but not Plannable", k)
+		}
+	}
+	if Plannable(order.KindDegenerate) {
+		t.Error("degenerate order must not be plannable (§7.5: its limit map needs edges)")
+	}
+	if got := orderIndex(order.KindDegenerate); got != len(Orders) {
+		t.Errorf("orderIndex(degenerate) = %d, want %d", got, len(Orders))
+	}
+}
+
+func TestTwoMethod(t *testing.T) {
+	// E1 does 1.5× the work at 2× the speed: E1 wins.
+	m, wn, err := TwoMethod(100, 150, 2)
+	if err != nil || m != listing.E1 || wn != 1.5 {
+		t.Fatalf("TwoMethod(100,150,2) = %v, %v, %v", m, wn, err)
+	}
+	// 3× the work at 2× the speed: T1 wins.
+	if m, _, _ := TwoMethod(100, 300, 2); m != listing.T1 {
+		t.Errorf("work ratio above speed ratio must pick T1, got %v", m)
+	}
+	// T1 free, E1 not: infinite work ratio, T1.
+	m, wn, err = TwoMethod(0, 5, 2)
+	if err != nil || m != listing.T1 || !math.IsInf(wn, 1) {
+		t.Fatalf("TwoMethod(0,5,2) = %v, %v, %v", m, wn, err)
+	}
+	// Both free: w_n defined as 1, E1 wins under any speedRatio > 1.
+	m, wn, err = TwoMethod(0, 0, 2)
+	if err != nil || m != listing.E1 || wn != 1 {
+		t.Fatalf("TwoMethod(0,0,2) = %v, %v, %v", m, wn, err)
+	}
+	if _, _, err := TwoMethod(1, 1, 0); err == nil {
+		t.Error("non-positive speed ratio accepted")
+	}
+}
+
+// TestFitTailRecovery feeds the fitter an exactly discretized Pareto and
+// checks it recovers the latent parameters. The midpoint correction
+// X ≈ D − ½ is approximate, so recovery is near, not exact.
+func TestFitTailRecovery(t *testing.T) {
+	p := degseq.StandardPareto(3) // α=3, β=60
+	top := p.Quantile(1 - 1e-12)
+	w := make([]float64, top)
+	for d := int64(1); d <= top; d++ {
+		w[d-1] = p.PMF(d)
+	}
+	e, err := degseq.NewEmpirical(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alpha, beta, relErr, ok := fitTail(e)
+	if !ok {
+		t.Fatal("fit failed on an exact Pareto histogram")
+	}
+	if math.Abs(alpha-3) > 0.3 {
+		t.Errorf("fitted alpha = %v, want ≈ 3", alpha)
+	}
+	if math.Abs(beta-60)/60 > 0.1 {
+		t.Errorf("fitted beta = %v, want ≈ 60", beta)
+	}
+	if relErr > 0.02 {
+		t.Errorf("fit rel-err = %v, want < 2%%", relErr)
+	}
+
+	// A distribution too light for the family (single atom: r = 1) must
+	// report no fit rather than garbage.
+	atom, err := degseq.NewEmpirical([]float64{0, 0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, ok := fitTail(atom); ok {
+		t.Error("degenerate single-atom distribution got a Pareto fit")
+	}
+}
+
+func TestComputeEdgeless(t *testing.T) {
+	g, err := graph.FromEdges(5, nil, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Ranking) != len(listing.Methods)*len(Orders) {
+		t.Fatalf("trivial plan has %d cells, want %d", len(p.Ranking), len(listing.Methods)*len(Orders))
+	}
+	best := p.Best()
+	if best.Method != listing.T1 || best.Order != order.KindDescending || best.Total != 0 {
+		t.Errorf("edgeless best = %+v, want zero-cost T1+θ_D", best)
+	}
+	if p.Fit.Isolated != 5 || p.Fit.Edges != 0 {
+		t.Errorf("edgeless fit = %+v", p.Fit)
+	}
+}
+
+func TestPlanAccessors(t *testing.T) {
+	g := paretoGraph(t, 1.5, 2000, 11)
+	p, err := Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := p.BestUnder(order.KindDegenerate); ok {
+		t.Error("BestUnder(degenerate) must report un-plannable")
+	}
+	c, ok := p.BestUnder(order.KindAscending)
+	if !ok || c.Order != order.KindAscending {
+		t.Fatalf("BestUnder(ascending) = %+v, %v", c, ok)
+	}
+	// The constrained best can't beat the global best.
+	if c.Total < p.Best().Total {
+		t.Errorf("BestUnder total %v below global best %v", c.Total, p.Best().Total)
+	}
+	if _, ok := p.Lookup(listing.E3, order.KindCRR); !ok {
+		t.Error("Lookup missed a grid cell")
+	}
+	if _, ok := p.Lookup(listing.E3, order.KindDegenerate); ok {
+		t.Error("Lookup invented a degenerate cell")
+	}
+	// Ranking is sorted cheapest-first.
+	for i := 1; i < len(p.Ranking); i++ {
+		if p.Ranking[i].Total < p.Ranking[i-1].Total {
+			t.Fatalf("ranking out of order at %d: %v after %v", i,
+				p.Ranking[i].Total, p.Ranking[i-1].Total)
+		}
+	}
+}
+
+func paretoGraph(t *testing.T, alpha float64, n int, seed uint64) *graph.Graph {
+	t.Helper()
+	g, _, err := gen.ParetoGraph(degseq.StandardPareto(alpha), n, degseq.RootTruncation, stats.NewRNGFromSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestComputeDeterminism: the plan — table text and JSON view alike —
+// is byte-identical across repeated runs and any worker count.
+func TestComputeDeterminism(t *testing.T) {
+	g := paretoGraph(t, 1.5, 4000, 7)
+	var wantText string
+	var wantJSON []byte
+	for _, workers := range []int{1, 1, 2, 8} {
+		p, err := Compute(g, WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		text := p.Format()
+		js, err := json.Marshal(p.View())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantText == "" {
+			wantText, wantJSON = text, js
+			continue
+		}
+		if text != wantText {
+			t.Errorf("workers=%d Format differs:\n%s\nwant:\n%s", workers, text, wantText)
+		}
+		if !bytes.Equal(js, wantJSON) {
+			t.Errorf("workers=%d JSON view differs:\n%s\nwant:\n%s", workers, js, wantJSON)
+		}
+	}
+}
+
+// TestComputeDistAgreesWithCompute: pricing the graph's own empirical
+// histogram through ComputeDist reproduces Compute's ranking exactly.
+func TestComputeDistAgreesWithCompute(t *testing.T) {
+	g := paretoGraph(t, 2.5, 3000, 3)
+	fromGraph, err := Compute(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	emp, err := degseq.FromHistogram(g.DegreeHistogram())
+	if err != nil {
+		t.Fatal(err)
+	}
+	active := int64(fromGraph.Fit.Nodes) - fromGraph.Fit.Isolated
+	fromDist, err := ComputeDist(emp, active)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fromDist.Ranking) != len(fromGraph.Ranking) {
+		t.Fatal("grid sizes differ")
+	}
+	for i := range fromDist.Ranking {
+		a, b := fromGraph.Ranking[i], fromDist.Ranking[i]
+		if a.Method != b.Method || a.Order != b.Order || a.Total != b.Total {
+			t.Fatalf("rank %d differs: graph %+v dist %+v", i, a, b)
+		}
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./internal/planner -update` to regenerate)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden file\n--- got ---\n%s\n--- want ---\n%s", name, got, want)
+	}
+}
+
+// TestGoldenPlans pins the full ranked plan of the two real-graph
+// fixtures. Plans are pure functions of the degree histogram, so these
+// bytes are machine- and worker-count-independent.
+func TestGoldenPlans(t *testing.T) {
+	for _, tc := range []struct{ fixture, golden string }{
+		{"karate.mtx", "karate.plan.txt"},
+		{"florentine.txt", "florentine.plan.txt"},
+	} {
+		t.Run(tc.fixture, func(t *testing.T) {
+			ld, err := ingest.LoadFile(filepath.Join("..", "ingest", "testdata", tc.fixture),
+				ingest.FormatAuto, ingest.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer ld.Close()
+			p, err := Compute(ld.Graph, WithWorkers(4))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, tc.golden, []byte(p.Format()))
+		})
+	}
+}

@@ -44,10 +44,23 @@ type JobSpec struct {
 	// Mode is "count" (default) or "list". List jobs record up to Limit
 	// triangles in the job result; count jobs only meter.
 	Mode string `json:"mode,omitempty"`
-	// Method is one of the 18 listing methods, default "T1".
+	// Method is one of the 18 listing methods, or "auto" (the default):
+	// the planner prices every (method, order) pair from the graph's
+	// degree distribution and executes the predicted-cheapest. Explicit
+	// method names bypass the planner entirely.
 	Method string `json:"method,omitempty"`
-	// Order is a relabeling order name or "auto" (default): the
-	// paper-optimal order for the method.
+	// Order is a relabeling order name or "auto" (the default). The
+	// auto/explicit combinations resolve as:
+	//
+	//	method=auto,     order=auto      planner's global best pair
+	//	method=auto,     order=<name>    planner's best method under that
+	//	                                 order — rejected (400) only for
+	//	                                 the degenerate order, whose cost
+	//	                                 the model cannot price from the
+	//	                                 degree distribution (§7.5)
+	//	method=<name>,   order=auto      the paper-optimal order for the
+	//	                                 method (Corollaries 1–2)
+	//	method=<name>,   order=<name>    exactly as requested
 	Order string `json:"order,omitempty"`
 	// Kernel is the intersection kernel: "merge", "gallop", "bitmap",
 	// or "auto" (default). Kernels change only wall-clock speed — the
@@ -78,6 +91,10 @@ type Job struct {
 	kernel listing.Kernel
 	list   bool
 	limit  int
+	// planned marks a job whose method/order came from the planner;
+	// predicted is the plan's total model-op prediction for the pair.
+	planned   bool
+	predicted float64
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -118,6 +135,19 @@ type JobView struct {
 	Triangles int64 `json:"triangles"`
 	ModelOps  int64 `json:"model_ops"`
 	MaxOutDeg int64 `json:"max_out_degree,omitempty"`
+	// PlannedMethod/PlannedOrder record the planner's choice on
+	// method=auto jobs (they match Method/Order; their presence marks
+	// the job as planner-driven). PredictedCost is the plan's total
+	// model-op prediction, ActualAdvWork the executed sweep's model ops
+	// (= model_ops, the paper's advertised-work meter), and
+	// PredictedActualRatio their quotient — the live validation signal
+	// also exported as the trid_planner_predicted_actual_ratio
+	// histogram. Actuals appear once the job is done.
+	PlannedMethod        string  `json:"planned_method,omitempty"`
+	PlannedOrder         string  `json:"planned_order,omitempty"`
+	PredictedCost        float64 `json:"predicted_cost,omitempty"`
+	ActualAdvWork        int64   `json:"actual_adv_work,omitempty"`
+	PredictedActualRatio float64 `json:"predicted_actual_ratio,omitempty"`
 	// TriangleList carries up to Limit triangles (list mode only) as
 	// [x, y, z] triples in relabeled IDs.
 	TriangleList [][3]int32 `json:"triangle_list,omitempty"`
@@ -150,6 +180,17 @@ func (j *Job) View() JobView {
 		Triangles: j.stats.Triangles,
 		ModelOps:  j.stats.ModelOps(),
 		MaxOutDeg: j.maxOutDeg,
+	}
+	if j.planned {
+		v.PlannedMethod = j.method.String()
+		v.PlannedOrder = j.kind.String()
+		v.PredictedCost = j.predicted
+		if j.status == JobDone {
+			v.ActualAdvWork = j.stats.ModelOps()
+			if v.ActualAdvWork > 0 {
+				v.PredictedActualRatio = j.predicted / float64(v.ActualAdvWork)
+			}
+		}
 	}
 	if j.list {
 		v.Limit = j.limit
@@ -219,52 +260,81 @@ func NewManager(opts Options, reg *Registry, m *serverMetrics) *Manager {
 	return mgr
 }
 
-// parseMethod resolves a method name (case-insensitive), default T1.
+// parseMethod resolves an explicit method name (case-insensitive).
+// "auto" and "" never reach it — Enqueue routes those through the
+// planner instead of silently defaulting.
 func parseMethod(s string) (listing.Method, error) {
-	if s == "" {
-		return listing.T1, nil
-	}
 	for _, m := range listing.Methods {
 		if strings.EqualFold(m.String(), s) {
 			return m, nil
 		}
 	}
-	return 0, fmt.Errorf("unknown method %q (want T1-T6, E1-E6, L1-L6)", s)
+	return 0, fmt.Errorf("unknown method %q (want auto or T1-T6, E1-E6, L1-L6)", s)
 }
 
-// parseOrder resolves an order name; "auto" (and "") pick the
-// paper-optimal order for the method.
-func parseOrder(s string, m listing.Method) (order.Kind, error) {
+// parseOrder resolves an order name; auto reports "" or "auto", whose
+// meaning depends on how the method resolved (see JobSpec.Order).
+func parseOrder(s string) (kind order.Kind, auto bool, err error) {
 	switch strings.ToLower(s) {
 	case "", "auto":
-		return core.Recommended(m), nil
+		return 0, true, nil
 	case "ascending", "asc", "a":
-		return order.KindAscending, nil
+		return order.KindAscending, false, nil
 	case "descending", "desc", "d":
-		return order.KindDescending, nil
+		return order.KindDescending, false, nil
 	case "round-robin", "roundrobin", "rr":
-		return order.KindRoundRobin, nil
+		return order.KindRoundRobin, false, nil
 	case "crr", "complementary-round-robin":
-		return order.KindCRR, nil
+		return order.KindCRR, false, nil
 	case "uniform", "random", "u":
-		return order.KindUniform, nil
+		return order.KindUniform, false, nil
 	case "degenerate", "degen", "smallest-last":
-		return order.KindDegenerate, nil
+		return order.KindDegenerate, false, nil
 	default:
-		return 0, fmt.Errorf("unknown order %q", s)
+		return 0, false, fmt.Errorf("unknown order %q", s)
 	}
 }
 
 // Enqueue validates the spec and admits the job to the bounded queue.
 // Returns ErrDraining during shutdown and ErrQueueFull at capacity.
 func (mgr *Manager) Enqueue(spec JobSpec) (*Job, error) {
-	method, err := parseMethod(spec.Method)
+	kind, orderAuto, err := parseOrder(spec.Order)
 	if err != nil {
 		return nil, err
 	}
-	kind, err := parseOrder(spec.Order, method)
-	if err != nil {
-		return nil, err
+	var (
+		method    listing.Method
+		planned   bool
+		predicted float64
+	)
+	if spec.Method == "" || strings.EqualFold(spec.Method, "auto") {
+		// Planner-driven resolution (memoized per graph; also the
+		// registration check for this path). An explicit order constrains
+		// the search to its column of the grid; only the degenerate order
+		// is un-plannable — eq. (50) cannot price it from the degree
+		// distribution alone.
+		plan, err := mgr.reg.Plan(spec.Graph)
+		if err != nil {
+			return nil, err
+		}
+		c := plan.Best()
+		if !orderAuto {
+			var ok bool
+			c, ok = plan.BestUnder(kind)
+			if !ok {
+				return nil, fmt.Errorf("method=auto cannot plan order %q: its cost is not predictable from the degree distribution; name a method explicitly", spec.Order)
+			}
+		}
+		method, kind = c.Method, c.Order
+		planned, predicted = true, c.Total
+	} else {
+		method, err = parseMethod(spec.Method)
+		if err != nil {
+			return nil, err
+		}
+		if orderAuto {
+			kind = core.Recommended(method)
+		}
 	}
 	kern, err := listing.ParseKernel(spec.Kernel)
 	if err != nil {
@@ -320,18 +390,20 @@ func (mgr *Manager) Enqueue(spec JobSpec) (*Job, error) {
 	}
 	mgr.seq++
 	j := &Job{
-		id:       fmt.Sprintf("job-%d", mgr.seq),
-		spec:     spec,
-		method:   method,
-		kind:     kind,
-		kernel:   kern,
-		list:     isList,
-		limit:    limit,
-		ctx:      ctx,
-		cancel:   cancel,
-		done:     make(chan struct{}),
-		status:   JobQueued,
-		queuedAt: time.Now(),
+		id:        fmt.Sprintf("job-%d", mgr.seq),
+		spec:      spec,
+		method:    method,
+		kind:      kind,
+		kernel:    kern,
+		list:      isList,
+		limit:     limit,
+		planned:   planned,
+		predicted: predicted,
+		ctx:       ctx,
+		cancel:    cancel,
+		done:      make(chan struct{}),
+		status:    JobQueued,
+		queuedAt:  time.Now(),
 	}
 	select {
 	case mgr.queue <- j:
@@ -453,6 +525,19 @@ func (mgr *Manager) runJob(j *Job) {
 		mgr.m.trianglesListed.Add(st.Triangles)
 		for stage, ss := range snap {
 			mgr.m.stageDuration.With(string(stage)).Observe(ss.Wall.Seconds())
+		}
+		if j.planned {
+			mgr.m.plannerJobs.With(j.method.String()).Inc()
+			// The predicted/actual ratio only means something for a sweep
+			// that ran to completion: partial sweeps do a prefix of the
+			// advertised work.
+			j.mu.Lock()
+			completed := j.status == JobDone
+			actual := j.stats.ModelOps()
+			j.mu.Unlock()
+			if completed && actual > 0 {
+				mgr.m.plannerRatio.With(j.method.String()).Observe(j.predicted / float64(actual))
+			}
 		}
 	}
 }

@@ -2,6 +2,14 @@ package server
 
 import "trilist/internal/metrics"
 
+// plannerRatioBuckets bracket the predicted/actual ratio around its
+// ideal value of 1.0 (latency-style DefBuckets would waste all their
+// resolution below 10s and none around 1). eq. (50) is an expectation
+// over graphs with the observed degree distribution, so ratios off 1
+// by a few percent are normal; sustained mass outside [0.5, 2] means
+// the model mispredicts this workload.
+var plannerRatioBuckets = []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 1, 1.05, 1.1, 1.25, 1.5, 2, 4, 10}
+
 // serverMetrics bundles every meter the daemon exposes on /metrics.
 // All names carry the trid_ prefix so a shared Prometheus can scrape
 // several services without collisions.
@@ -31,6 +39,10 @@ type serverMetrics struct {
 	graphsRegistered *metrics.Counter
 	graphsPersisted  *metrics.Counter
 	graphsWarmLoaded *metrics.Counter
+
+	plannerPlans *metrics.Counter
+	plannerJobs  *metrics.CounterVec   // labeled by the method the planner chose
+	plannerRatio *metrics.HistogramVec // predicted/actual model ops, labeled by method
 
 	uploadsOpen      *metrics.Gauge
 	uploadsCommitted *metrics.Counter
@@ -70,6 +82,14 @@ func newServerMetrics() *serverMetrics {
 		graphsRegistered: r.NewCounter("trid_graphs_registered_total", "Accepted graph registrations, direct or upload-commit (including re-registrations)."),
 		graphsPersisted:  r.NewCounter("trid_graphs_persisted_total", "Graphs written to the CSR directory."),
 		graphsWarmLoaded: r.NewCounter("trid_graphs_warm_loaded_total", "Graphs memory-mapped from the CSR directory at startup."),
+
+		plannerPlans: r.NewCounter("trid_planner_plans_computed_total",
+			"Query plans computed and memoized by the registry."),
+		plannerJobs: r.NewCounterVec("trid_planner_jobs_total",
+			"Jobs whose method/order were chosen by the planner (method=auto).", "method"),
+		plannerRatio: r.NewHistogramVec("trid_planner_predicted_actual_ratio",
+			"Predicted model cost divided by the executed sweep's actual model ops, per planner-chosen method. Buckets bracket 1.0: below = model underestimates, above = overestimates.",
+			"method", plannerRatioBuckets),
 
 		uploadsOpen:      r.NewGauge("trid_uploads_open", "Chunked uploads currently spooling."),
 		uploadsCommitted: r.NewCounter("trid_uploads_committed_total", "Chunked uploads committed into the registry."),

@@ -9,6 +9,7 @@ import (
 	"trilist/internal/graph"
 	"trilist/internal/obsv"
 	"trilist/internal/order"
+	"trilist/internal/planner"
 	"trilist/internal/stats"
 )
 
@@ -29,12 +30,14 @@ type orientKey struct {
 	seed uint64
 }
 
-// graphEntry is one resident graph plus its cached orientations.
+// graphEntry is one resident graph plus its cached orientations and
+// memoized query plan.
 type graphEntry struct {
 	id      string
 	g       *graph.Graph
 	bytes   int64 // graph + all cached orientations
 	orients map[orientKey]*digraph.Oriented
+	plan    *planner.Plan // memoized ranking, computed on first use
 	elem    *list.Element
 }
 
@@ -210,6 +213,49 @@ func (r *Registry) Oriented(id string, kind order.Kind, seed uint64, rec *obsv.R
 		r.gaugesLocked()
 	}
 	return o, false, nil
+}
+
+// Plan returns the memoized query plan for graph id, computing it on
+// first use. Like Oriented, the computation runs outside the lock (it
+// is O(grid × max-degree) and must not block unrelated lookups); a
+// concurrent request for the same graph may duplicate the work, and the
+// first writer's plan is kept — sound because planning is a pure
+// function of the degree histogram.
+func (r *Registry) Plan(id string) (*planner.Plan, error) {
+	r.mu.Lock()
+	e, ok := r.byID[id]
+	if !ok {
+		r.mu.Unlock()
+		return nil, fmt.Errorf("%w: %q", ErrUnknownGraph, id)
+	}
+	r.lru.MoveToFront(e.elem)
+	if e.plan != nil {
+		p := e.plan
+		r.mu.Unlock()
+		return p, nil
+	}
+	g := e.g
+	r.mu.Unlock()
+
+	p, err := planner.Compute(g, planner.WithWorkers(r.workers))
+	if err != nil {
+		return nil, err
+	}
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	// The entry may have been evicted while we planned; the caller still
+	// gets a usable plan, it just isn't memoized.
+	if e2, ok := r.byID[id]; ok && e2.g == g {
+		if e2.plan != nil {
+			return e2.plan, nil
+		}
+		e2.plan = p
+		if r.m != nil {
+			r.m.plannerPlans.Inc()
+		}
+	}
+	return p, nil
 }
 
 // Snapshot describes one resident graph for the HTTP listing.

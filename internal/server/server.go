@@ -3,13 +3,14 @@
 // queue, turning the repo's run-to-completion listing kernels into a
 // serving system.
 //
-//	POST   /v1/graphs     register an edge-list or binary-CSR graph body
-//	GET    /v1/graphs     list resident graphs (MRU order)
-//	POST   /v1/jobs       submit a count/list job (JobSpec body)
-//	GET    /v1/jobs/{id}  poll a job
-//	DELETE /v1/jobs/{id}  cancel a job
-//	GET    /healthz       liveness (503 while draining)
-//	GET    /metrics       Prometheus text exposition
+//	POST   /v1/graphs            register an edge-list or binary-CSR graph body
+//	GET    /v1/graphs            list resident graphs (MRU order)
+//	GET    /v1/graphs/{id}/plan  predicted cost ranking for every (method, order)
+//	POST   /v1/jobs              submit a count/list job (JobSpec body)
+//	GET    /v1/jobs/{id}         poll a job
+//	DELETE /v1/jobs/{id}         cancel a job
+//	GET    /healthz              liveness (503 while draining)
+//	GET    /metrics              Prometheus text exposition
 //
 // The serving premise follows the paper's economics: loading and
 // relabeling a large graph costs far more than one sweep, so the
@@ -33,6 +34,7 @@ import (
 
 	"trilist/internal/ingest"
 	"trilist/internal/metrics"
+	"trilist/internal/planner"
 )
 
 // Options configures a Server.
@@ -126,6 +128,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/graphs/upload/{id}/commit", s.handleUploadCommit)
 	s.mux.HandleFunc("DELETE /v1/graphs/upload/{id}", s.handleUploadAbort)
 	s.mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	s.mux.HandleFunc("GET /v1/graphs/{id}/plan", s.handleGraphPlan)
 	s.mux.HandleFunc("POST /v1/jobs", s.handleCreateJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
@@ -212,6 +215,28 @@ func (s *Server) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 		"graphs":      s.reg.Snapshots(),
 		"cache_bytes": s.reg.UsedBytes(),
 	})
+}
+
+// handleGraphPlan previews the planner's ranking for a resident graph
+// without running a job: the full (method, order) grid priced by
+// eq. (50) on the fitted degree distribution, cheapest first, plus the
+// fit diagnostics. The plan is memoized per graph, so repeated calls
+// (and subsequent method=auto jobs) are free.
+func (s *Server) handleGraphPlan(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	p, err := s.reg.Plan(id)
+	switch {
+	case errors.Is(err, ErrUnknownGraph):
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusUnprocessableEntity, "planning %q: %v", id, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Graph string `json:"graph"`
+		planner.View
+	}{Graph: id, View: p.View()})
 }
 
 func (s *Server) handleCreateJob(w http.ResponseWriter, r *http.Request) {

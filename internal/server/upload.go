@@ -316,6 +316,11 @@ func (s *Server) registerBytes(body []byte, f ingest.Format) (graphInfo, int, er
 		return graphInfo{}, http.StatusBadRequest, fmt.Errorf("parsing graph: %w", err)
 	}
 	s.reg.Add(id, g)
+	// Eagerly compute and memoize the query plan so the first
+	// method=auto job (or /plan preview) pays nothing. Best-effort: a
+	// planning failure must not undo a registration that is already
+	// resident — auto jobs will retry and surface the error.
+	_, _ = s.reg.Plan(id)
 	s.persistCSR(id, g)
 	return graphInfo{
 		ID: id, Nodes: g.NumNodes(), Edges: g.NumEdges(), Bytes: graphBytes(g),
@@ -375,6 +380,12 @@ func (s *Server) LoadCSRDir() (loaded int, err error) {
 			s.mappedMu.Unlock()
 			s.metrics.graphsWarmLoaded.Inc()
 			loaded++
+			// Warm the query plan alongside the graph: a restart should
+			// leave auto-job planning as cheap as before it. Non-fatal,
+			// like a corrupt file — the graph itself is fine.
+			if _, planErr := s.reg.Plan(id); planErr != nil {
+				errs = append(errs, planErr)
+			}
 		} else {
 			_ = m.Close()
 		}
