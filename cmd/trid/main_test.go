@@ -38,7 +38,10 @@ func TestDaemonLifecycle(t *testing.T) {
 	defer cancel()
 	out := &syncBuffer{}
 	done := make(chan error, 1)
-	go func() { done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2"}, out) }()
+	spillDir := t.TempDir()
+	go func() {
+		done <- run(ctx, []string{"-addr", "127.0.0.1:0", "-workers", "2", "-spill-dir", spillDir}, out)
+	}()
 
 	// The listen line appears once the port is bound.
 	var addr string
@@ -87,6 +90,27 @@ func TestDaemonLifecycle(t *testing.T) {
 	resp.Body.Close()
 	if v.Status != "done" || v.Triangles != 4 {
 		t.Fatalf("count job: %+v", v)
+	}
+
+	// Partitioned job: the -spill-dir store backs a parts>1, workers>1
+	// block-triple sweep and the view carries the partition meters.
+	body, _ = json.Marshal(map[string]any{"graph": gi.ID, "parts": 2, "workers": 2, "wait": true})
+	resp, err = http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pv struct {
+		Status    string `json:"status"`
+		Triangles int64  `json:"triangles"`
+		Parts     int    `json:"parts"`
+		Passes    int64  `json:"passes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&pv); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if pv.Status != "done" || pv.Triangles != 4 || pv.Parts != 2 || pv.Passes == 0 {
+		t.Fatalf("partitioned job: %+v", pv)
 	}
 
 	cancel() // the SIGINT path

@@ -28,7 +28,12 @@
 // the rank and orient stages (results are identical at any worker
 // count); -parts P > 1 switches to the external-memory partitioned
 // lister (ignoring -method), spilling blocks to -spill (or memory if
-// unset). -timeout bounds the sweep (including partitioned runs,
+// unset). Partitioned runs schedule the P³/streamable block triples on
+// a scatter/gather executor: -workers passes run concurrently (output
+// stays byte-identical at any worker count, with straggler re-issue
+// when workers > 1), and -retries N with -retry-backoff D re-runs a
+// pass after transient spill-store failures. -timeout bounds the sweep
+// (including partitioned runs,
 // cancelled between block triples); on expiry trilist exits non-zero
 // after reporting the partial triangle count. -stages prints a
 // per-stage wall-clock breakdown (rank, orient, list) after the run.
@@ -43,6 +48,7 @@ import (
 	"io"
 	"os"
 	"strings"
+	"time"
 
 	"trilist/internal/core"
 	"trilist/internal/extmem"
@@ -74,6 +80,8 @@ func run(args []string, out io.Writer) error {
 	workers := fs.Int("workers", 1, "parallel goroutines for prepare and the sweep (sweep needs a visitor-safe method)")
 	parts := fs.Int("parts", 1, "external-memory partitions (>1 enables the partitioned lister)")
 	spill := fs.String("spill", "", "spill directory for -parts (default: in-memory blocks)")
+	retries := fs.Int("retries", 1, "attempts per block-triple pass under -parts (>1 retries transient store failures)")
+	retryBackoff := fs.Duration("retry-backoff", 0, "base backoff between block-triple retry attempts (doubles per retry)")
 	timeout := fs.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
 	stages := fs.Bool("stages", false, "print a per-stage wall-clock breakdown after the run")
 	if err := fs.Parse(args); err != nil {
@@ -162,7 +170,18 @@ func run(args []string, out io.Writer) error {
 		defer cancel()
 	}
 	if *parts > 1 {
-		err := runPartitioned(ctx, g, kind, *parts, *spill, *seed, rec, visit, w)
+		pcfg := core.Config{
+			Order:    kind,
+			Seed:     *seed,
+			Workers:  *workers,
+			Recorder: rec,
+			Parts:    *parts,
+			SpillDir: *spill,
+			Retry:    extmem.RetryPolicy{Attempts: *retries, Backoff: *retryBackoff},
+			// Straggler re-issue only makes sense with idle workers to spare.
+			Speculate: *workers > 1,
+		}
+		err := runPartitioned(ctx, g, pcfg, *timeout, visit, w)
 		printStages(w, rec)
 		return err
 	}
@@ -197,39 +216,31 @@ func printStages(w io.Writer, rec *obsv.Recorder) {
 	}
 }
 
-// runPartitioned executes the external-memory lister. ctx cancellation
-// stops it between block triples.
-func runPartitioned(ctx context.Context, g *graph.Graph, kind order.Kind, parts int, spill string,
-	seed uint64, rec *obsv.Recorder, visit listing.Visitor, w io.Writer) error {
-	o, err := core.Prepare(g, core.Config{Order: kind, Seed: seed, Recorder: rec})
-	if err != nil {
-		return err
-	}
-	var store extmem.BlockStore
-	if spill == "" {
-		store = extmem.NewMemStore()
-	} else {
-		fs, err := extmem.NewFileStore(spill)
-		if err != nil {
-			return err
-		}
-		store = fs
-	}
-	defer store.Close()
-	sp := rec.Start(obsv.StageList)
-	res, err := extmem.Run(ctx, o, parts, store, visit)
-	sp.End()
+// runPartitioned executes the external-memory lister through the core
+// façade, which owns the block store lifecycle (spill files are removed
+// on every exit path) and schedules the block triples on the
+// scatter/gather executor with cfg.Workers passes in flight. ctx
+// cancellation stops it between block triples.
+func runPartitioned(ctx context.Context, g *graph.Graph, cfg core.Config,
+	timeout time.Duration, visit listing.Visitor, w io.Writer) error {
+	res, err := core.ListCtx(ctx, g, cfg, visit)
 	if errors.Is(err, context.DeadlineExceeded) {
-		return fmt.Errorf("deadline exceeded: %d triangles found in %d passes before the run was cut short",
-			res.Triangles, res.Passes)
+		var passes int64
+		if res.Partitioned != nil {
+			passes = res.Partitioned.Passes
+		}
+		return fmt.Errorf("deadline exceeded after %v: %d triangles found in %d passes before the run was cut short",
+			timeout, res.Triangles, passes)
 	}
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(w, "# external-memory: parts=%d order=%v\n", parts, kind)
+	er := res.Partitioned
+	fmt.Fprintf(w, "# external-memory: parts=%d order=%v workers=%d\n", cfg.Parts, cfg.Order, cfg.Workers)
 	fmt.Fprintf(w, "# triangles=%d\n", res.Triangles)
 	fmt.Fprintf(w, "# passes=%d arcs-read=%d arcs-written=%d block-reads=%d\n",
-		res.Passes, res.IO.ArcsRead, res.IO.ArcsWritten, res.IO.BlockReads)
+		er.Passes, er.IO.ArcsRead, er.IO.ArcsWritten, er.IO.BlockReads)
+	fmt.Fprintf(w, "# prep=%v list=%v\n", res.PrepTime, res.ListTime)
 	return nil
 }
 

@@ -78,6 +78,9 @@ func TestRunWorkersAndPartitions(t *testing.T) {
 		{"-workers", "4"},
 		{"-parts", "3"},
 		{"-parts", "2", "-spill", t.TempDir()},
+		// Parallel partitioned sweep with retries + speculation enabled.
+		{"-parts", "3", "-workers", "4", "-retries", "3", "-retry-backoff", "1ms"},
+		{"-parts", "2", "-workers", "8", "-spill", t.TempDir()},
 	} {
 		var out strings.Builder
 		if err := run(append([]string{"-in", path, "-method", "E1"}, extra...), &out); err != nil {
@@ -86,6 +89,15 @@ func TestRunWorkersAndPartitions(t *testing.T) {
 		if !strings.Contains(out.String(), "triangles=4") {
 			t.Fatalf("%v: wrong output:\n%s", extra, out.String())
 		}
+	}
+	// A spill dir routed through the core façade is left clean.
+	spill := t.TempDir()
+	var out strings.Builder
+	if err := run([]string{"-in", path, "-method", "E1", "-parts", "2", "-workers", "2", "-spill", spill}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if files, err := filepath.Glob(filepath.Join(spill, "block_*.arcs")); err != nil || len(files) != 0 {
+		t.Fatalf("spill dir not cleaned: files=%v err=%v", files, err)
 	}
 }
 

@@ -19,6 +19,8 @@ import (
 
 	"trilist/internal/degseq"
 	"trilist/internal/digraph"
+	"trilist/internal/exec"
+	"trilist/internal/extmem"
 	"trilist/internal/graph"
 	"trilist/internal/listing"
 	"trilist/internal/model"
@@ -51,10 +53,33 @@ type Config struct {
 	// differing only in wall-clock speed.
 	Kernel listing.Kernel
 	// Recorder, when non-nil, receives one span per pipeline stage
-	// (rank and orient from Prepare, list from the sweep). The nil
-	// default adds zero overhead, and attaching a recorder never changes
-	// results: Stats stay bitwise identical.
+	// (rank and orient from Prepare, list from the sweep; partitioned
+	// runs add one extmem.StageTriple span per block-triple attempt).
+	// The nil default adds zero overhead, and attaching a recorder never
+	// changes results: Stats stay bitwise identical.
 	Recorder *obsv.Recorder
+	// Parts > 0 routes the sweep through the external-memory partitioned
+	// lister (internal/extmem): the orientation is split into Parts label
+	// ranges and listed one block-triple at a time, with Workers passes
+	// in flight concurrently. Method and Kernel are ignored — the
+	// partitioned sweep is the E2-style block merge. Results are bitwise
+	// identical at any Workers count. 0 keeps the in-memory sweep.
+	Parts int
+	// SpillDir, with Parts > 0, spills partition blocks to real files in
+	// that directory (created if needed; block files are removed when the
+	// run finishes, on success and error paths alike). Empty keeps blocks
+	// in memory.
+	SpillDir string
+	// Retry, with Parts > 0, re-runs a block-triple pass after transient
+	// store failures. The zero value means one attempt (no retry).
+	Retry extmem.RetryPolicy
+	// Speculate, with Parts > 0 and Workers > 1, enables straggler
+	// re-issue of the slowest in-flight triple pass.
+	Speculate bool
+	// ExecEvents, when non-nil with Parts > 0, taps the executor's event
+	// stream (retries, stragglers, failures). Called from worker
+	// goroutines — must be concurrency-safe.
+	ExecEvents func(exec.Event)
 }
 
 // Recommended returns the paper-optimal order for the method
@@ -73,6 +98,9 @@ type Result struct {
 	MaxOutDeg int64
 	// PrepTime covers relabel + orient; ListTime covers the traversal.
 	PrepTime, ListTime time.Duration
+	// Partitioned carries the external-memory meters (passes, block I/O)
+	// when the run went through Config.Parts; nil for in-memory sweeps.
+	Partitioned *extmem.Result
 }
 
 // Prepare performs steps 1–2 of the framework: relabel g by cfg.Order and
@@ -130,6 +158,9 @@ func ListCtx(ctx context.Context, g *graph.Graph, cfg Config, visit listing.Visi
 // (the trid server's graph registry). Cancellation semantics match
 // ListCtx; PrepTime is zero.
 func ListOriented(ctx context.Context, o *digraph.Oriented, cfg Config, visit listing.Visitor) (Result, error) {
+	if cfg.Parts > 0 {
+		return listPartitioned(ctx, o, cfg, visit)
+	}
 	t1 := time.Now()
 	var st listing.Stats
 	var runErr error
@@ -147,6 +178,59 @@ func ListOriented(ctx context.Context, o *digraph.Oriented, cfg Config, visit li
 		MaxOutDeg: o.MaxOutDeg(),
 		ListTime:  t2.Sub(t1),
 	}, runErr
+}
+
+// listPartitioned is the Config.Parts > 0 path of ListOriented: the
+// external-memory block-triple schedule on the scatter/gather executor.
+// The block store's lifecycle is owned here — spill files are removed
+// before returning on every path, success, cancellation and error alike.
+func listPartitioned(ctx context.Context, o *digraph.Oriented, cfg Config, visit listing.Visitor) (res Result, err error) {
+	var store extmem.BlockStore
+	if cfg.SpillDir != "" {
+		fs, ferr := extmem.NewFileStore(cfg.SpillDir)
+		if ferr != nil {
+			return Result{}, fmt.Errorf("core: partitioned listing: %w", ferr)
+		}
+		store = fs
+	} else {
+		store = extmem.NewMemStore()
+	}
+	defer func() {
+		if cerr := store.Close(); cerr != nil && err == nil {
+			err = fmt.Errorf("core: closing block store: %w", cerr)
+		}
+	}()
+
+	opts := []extmem.Option{
+		extmem.WithWorkers(cfg.Workers),
+		extmem.WithRecorder(cfg.Recorder),
+		extmem.WithRetry(cfg.Retry),
+	}
+	if cfg.Speculate {
+		opts = append(opts, extmem.WithSpeculation())
+	}
+	if cfg.ExecEvents != nil {
+		opts = append(opts, extmem.WithExecEvents(cfg.ExecEvents))
+	}
+
+	t1 := time.Now()
+	sp := cfg.Recorder.Start(obsv.StageList)
+	er, runErr := extmem.Run(ctx, o, cfg.Parts, store, visit, opts...)
+	sp.End()
+	res = Result{
+		// The partitioned sweep is the E2 intersection restricted to
+		// block triples; its comparisons land in the same meter.
+		Stats: listing.Stats{
+			Method:      listing.E2,
+			Triangles:   er.Triangles,
+			Comparisons: er.Comparisons,
+		},
+		Order:       cfg.Order,
+		MaxOutDeg:   o.MaxOutDeg(),
+		ListTime:    time.Since(t1),
+		Partitioned: &er,
+	}
+	return res, runErr
 }
 
 // Count returns the number of triangles in g using the configured method.

@@ -12,6 +12,17 @@
 // exactly once while holding only three blocks in memory. Per-pass
 // listing is the E2-style intersection of the paper's framework.
 //
+// The O(P³) triple passes are independent, so Run schedules them on the
+// internal/exec scatter/gather executor: WithWorkers(k) runs up to k
+// passes concurrently, each worker holding its own three-block working
+// set, while results are committed in triple-lexicographic order on the
+// calling goroutine — the triangle sequence, the visitor callsite, and
+// every Result field are byte-identical at any worker count. Retry with
+// backoff (WithRetry), per-triple timeouts (WithTripleTimeout) and
+// straggler re-issue (WithSpeculation) make the schedule robust against
+// flaky stores without perturbing that determinism: I/O meters come
+// from the committed execution of each triple, never from losing copies.
+//
 // Blocks live behind the BlockStore interface: MemStore simulates I/O
 // (and meters it) for tests and experiments; FileStore spills real
 // binary files with buffered sequential reads, the production path.
@@ -24,10 +35,17 @@ import (
 	"context"
 	"fmt"
 	"slices"
+	"time"
 
 	"trilist/internal/digraph"
+	"trilist/internal/exec"
 	"trilist/internal/listing"
+	"trilist/internal/obsv"
 )
+
+// StageTriple is the obsv stage recorded once per block-triple pass
+// attempt (wall clock of the three block reads plus the merge sweep).
+const StageTriple obsv.Stage = "triple"
 
 // Arc is a directed edge from the larger label Y to the smaller X.
 type Arc struct {
@@ -35,11 +53,19 @@ type Arc struct {
 }
 
 // BlockStore persists arc blocks keyed by partition pair (i, j), i >= j.
+//
+// Concurrency contract: Run calls Append only from the calling
+// goroutine (the partition pass), but calls Read from up to Workers
+// goroutines concurrently — implementations must make Read safe for
+// concurrent use, including concurrently with Stats. Close is never
+// called by Run; callers close after Run returns, by which point all
+// worker goroutines have exited.
 type BlockStore interface {
 	// Append adds arcs to block (i, j).
 	Append(i, j int, arcs []Arc) error
-	// Read returns all arcs of block (i, j), in unspecified order, and
-	// accounts for the read in the store's meters.
+	// Read returns all arcs of block (i, j), in a deterministic order
+	// (append order), and accounts for the read in the store's meters.
+	// Safe for concurrent use.
 	Read(i, j int) ([]Arc, error)
 	// Stats returns cumulative meters.
 	Stats() IOStats
@@ -50,20 +76,86 @@ type BlockStore interface {
 // IOStats meters store traffic.
 type IOStats struct {
 	// ArcsWritten and ArcsRead count arc records through the store.
-	ArcsWritten, ArcsRead int64
+	ArcsWritten int64 `json:"arcs_written"`
+	ArcsRead    int64 `json:"arcs_read"`
 	// BlockReads counts Read calls (seeks, in disk terms).
-	BlockReads int64
+	BlockReads int64 `json:"block_reads"`
 }
 
 // Result reports one external-memory run.
 type Result struct {
-	Triangles int64
-	// Passes is the number of partition triples processed.
-	Passes int64
-	// IO is the store traffic, including the partitioning write pass.
-	IO IOStats
+	Triangles int64 `json:"triangles"`
+	// Passes is the number of partition triples committed.
+	Passes int64 `json:"passes"`
+	// IO is the store traffic: the partitioning write pass plus the
+	// reads of each committed triple execution. Retries, speculative
+	// copies and abandoned attempts do not count — the meters describe
+	// the deterministic logical schedule, not scheduling luck, so they
+	// are identical at any worker count. (store.Stats() still meters
+	// physical traffic including wasted attempts.)
+	IO IOStats `json:"io"`
 	// Comparisons counts in-memory merge comparisons across all passes.
-	Comparisons int64
+	Comparisons int64 `json:"comparisons"`
+}
+
+// RetryPolicy bounds re-execution of a triple pass after a transient
+// BlockStore failure.
+type RetryPolicy struct {
+	// Attempts is the total tries per execution; values below 1 mean 1
+	// (no retry).
+	Attempts int
+	// Backoff is the sleep before the first retry, doubling per retry
+	// (capped inside internal/exec). Zero retries immediately.
+	Backoff time.Duration
+}
+
+// Option configures Run.
+type Option func(*runOptions)
+
+type runOptions struct {
+	workers       int
+	retry         RetryPolicy
+	tripleTimeout time.Duration
+	speculate     bool
+	rec           *obsv.Recorder
+	onEvent       func(exec.Event)
+}
+
+// WithWorkers sets the triple-pass pool size; values below 2 keep the
+// serial path. Output is byte-identical at any worker count.
+func WithWorkers(n int) Option { return func(o *runOptions) { o.workers = n } }
+
+// WithRetry re-runs a triple pass after transient store failures.
+// Passes must be idempotent for the store in use (both MemStore and
+// FileStore reads are).
+func WithRetry(p RetryPolicy) Option { return func(o *runOptions) { o.retry = p } }
+
+// WithTripleTimeout bounds each pass attempt; an expired attempt counts
+// as transient and is retried under the RetryPolicy.
+func WithTripleTimeout(d time.Duration) Option {
+	return func(o *runOptions) { o.tripleTimeout = d }
+}
+
+// WithSpeculation enables straggler re-issue: when the pool is
+// otherwise idle, the longest-running triple pass is speculatively
+// re-run (one extra copy); the first completion wins and triangles are
+// still emitted exactly once.
+func WithSpeculation() Option { return func(o *runOptions) { o.speculate = true } }
+
+// WithRecorder records a StageTriple span per pass attempt.
+func WithRecorder(rec *obsv.Recorder) Option { return func(o *runOptions) { o.rec = rec } }
+
+// WithExecEvents taps the executor's event stream (retries, stragglers,
+// failures) — the hook trid uses to meter the schedule. The hook is
+// called from worker goroutines and must be concurrency-safe.
+func WithExecEvents(f func(exec.Event)) Option { return func(o *runOptions) { o.onEvent = f } }
+
+// tripleResult is one pass's buffered output: everything needed to
+// commit it deterministically later.
+type tripleResult struct {
+	triangles [][3]int32
+	comps     int64
+	io        IOStats
 }
 
 // Run lists all triangles of the oriented graph with P partitions,
@@ -71,13 +163,24 @@ type Result struct {
 // visit, which may be nil. The store must be empty; Run writes the
 // partition blocks itself. P = 1 degenerates to a single in-memory pass.
 //
-// Cancellation is cooperative at block-triple granularity: ctx is
-// checked before the partitioning pass and between triples, so a
-// partitioned run over a huge graph stops within one pass of the
-// signal. On cancellation the error is ctx.Err() and the Result holds
-// the triangles and meters accumulated so far — each reported to visit
-// exactly once.
-func Run(ctx context.Context, o *digraph.Oriented, parts int, store BlockStore, visit listing.Visitor) (Result, error) {
+// visit is always called from Run's calling goroutine, in a fixed
+// deterministic order (triple-lexicographic, then sweep order within a
+// triple), regardless of WithWorkers — visitors need no locking.
+//
+// Cancellation is cooperative at block-read granularity inside a pass
+// and commit granularity outside: on cancellation Run stops committing,
+// waits for in-flight passes to wind down, and returns ctx.Err() with
+// the Result holding the triangles and meters committed so far — each
+// reported to visit exactly once.
+//
+// Run does not Close the store; callers own its lifecycle and can
+// safely Close the moment Run returns (no worker goroutines outlive
+// it), on success and error paths alike.
+func Run(ctx context.Context, o *digraph.Oriented, parts int, store BlockStore, visit listing.Visitor, opts ...Option) (Result, error) {
+	var ro runOptions
+	for _, opt := range opts {
+		opt(&ro)
+	}
 	var res Result
 	if err := ctx.Err(); err != nil {
 		return res, err
@@ -98,13 +201,15 @@ func Run(ctx context.Context, o *digraph.Oriented, parts int, store BlockStore, 
 	part := func(v int32) int { return int(int64(v) * int64(parts) / int64(n)) }
 
 	// Partitioning pass: write every arc to its block, buffered per
-	// block to amortize Append calls.
+	// block to amortize Append calls. Serial — the write path of the
+	// store is not required to be concurrency-safe.
 	buf := make(map[[2]int][]Arc)
 	flush := func(key [2]int) error {
 		if arcs := buf[key]; len(arcs) > 0 {
 			if err := store.Append(key[0], key[1], arcs); err != nil {
 				return err
 			}
+			res.IO.ArcsWritten += int64(len(arcs))
 			buf[key] = buf[key][:0]
 		}
 		return nil
@@ -127,25 +232,45 @@ func Run(ctx context.Context, o *digraph.Oriented, parts int, store BlockStore, 
 		}
 	}
 
-	// Triple passes.
+	// Enumerate the non-decreasing triples in lexicographic order — the
+	// protocol-fixed schedule and commit order.
+	triples := make([][3]int, 0, parts*(parts+1)*(parts+2)/6)
 	for a := 0; a < parts; a++ {
 		for b := a; b < parts; b++ {
 			for c := b; c < parts; c++ {
-				if err := ctx.Err(); err != nil {
-					res.IO = store.Stats()
-					return res, err
-				}
-				res.Passes++
-				tri, comps, err := runTriple(store, a, b, c, visit)
-				if err != nil {
-					return res, err
-				}
-				res.Triangles += tri
-				res.Comparisons += comps
+				triples = append(triples, [3]int{a, b, c})
 			}
 		}
 	}
-	res.IO = store.Stats()
+
+	err := exec.Run(ctx, len(triples),
+		func(tctx context.Context, idx int) (tripleResult, error) {
+			tr := triples[idx]
+			sp := ro.rec.Start(StageTriple)
+			defer sp.End()
+			return runTriple(tctx, store, tr[0], tr[1], tr[2])
+		},
+		func(idx int, tr tripleResult) {
+			res.Passes++
+			res.Comparisons += tr.comps
+			res.IO.ArcsRead += tr.io.ArcsRead
+			res.IO.BlockReads += tr.io.BlockReads
+			for _, t := range tr.triangles {
+				res.Triangles++
+				visit(t[0], t[1], t[2])
+			}
+		},
+		exec.Options{
+			Workers:     ro.workers,
+			MaxAttempts: ro.retry.Attempts,
+			Backoff:     ro.retry.Backoff,
+			TaskTimeout: ro.tripleTimeout,
+			Speculate:   ro.speculate,
+			OnEvent:     ro.onEvent,
+		})
+	if err != nil {
+		return res, err
+	}
 	return res, nil
 }
 
@@ -168,32 +293,47 @@ func groupByY(arcs []Arc) adjacency {
 // z→y in (c, b), z→x in (c, a). For every arc z→y, the candidates x are
 // the intersection of y's down-neighbors in (b,a) with z's
 // down-neighbors in (c,a) — the E2 sweep of the paper restricted to the
-// triple.
-func runTriple(store BlockStore, a, b, c int, visit listing.Visitor) (int64, int64, error) {
-	eBA, err := store.Read(b, a)
+// triple. Triangles are buffered, not emitted: the executor commits
+// them in schedule order. ctx is checked between block reads, so a
+// cancellation or per-triple timeout interrupts a pass within one
+// block read.
+func runTriple(ctx context.Context, store BlockStore, a, b, c int) (tripleResult, error) {
+	var tr tripleResult
+	read := func(i, j int) ([]Arc, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		arcs, err := store.Read(i, j)
+		if err != nil {
+			return nil, err
+		}
+		tr.io.BlockReads++
+		tr.io.ArcsRead += int64(len(arcs))
+		return arcs, nil
+	}
+	eBA, err := read(b, a)
 	if err != nil {
-		return 0, 0, err
+		return tr, err
 	}
 	if len(eBA) == 0 {
-		return 0, 0, nil
+		return tr, nil
 	}
-	eCB, err := store.Read(c, b)
+	eCB, err := read(c, b)
 	if err != nil {
-		return 0, 0, err
+		return tr, err
 	}
 	if len(eCB) == 0 {
-		return 0, 0, nil
+		return tr, nil
 	}
-	eCA, err := store.Read(c, a)
+	eCA, err := read(c, a)
 	if err != nil {
-		return 0, 0, err
+		return tr, err
 	}
 	if len(eCA) == 0 {
-		return 0, 0, nil
+		return tr, nil
 	}
 	downBA := groupByY(eBA) // y -> {x} with x ∈ a
 	downCA := groupByY(eCA) // z -> {x} with x ∈ a
-	var tri, comps int64
 	for _, arc := range eCB {
 		z, y := arc.Y, arc.X
 		ly := downBA[y]
@@ -203,7 +343,7 @@ func runTriple(store BlockStore, a, b, c int, visit listing.Visitor) (int64, int
 		}
 		i, j := 0, 0
 		for i < len(ly) && j < len(lz) {
-			comps++
+			tr.comps++
 			switch {
 			case ly[i] < lz[j]:
 				i++
@@ -215,13 +355,12 @@ func runTriple(store BlockStore, a, b, c int, visit listing.Visitor) (int64, int
 				// global ordering x < y < z must hold (it is automatic
 				// across distinct partitions).
 				if x < y && y < z {
-					tri++
-					visit(x, y, z)
+					tr.triangles = append(tr.triangles, [3]int32{x, y, z})
 				}
 				i++
 				j++
 			}
 		}
 	}
-	return tri, comps, nil
+	return tr, nil
 }

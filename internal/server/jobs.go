@@ -4,12 +4,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
 	"time"
 
 	"trilist/internal/core"
+	"trilist/internal/exec"
+	"trilist/internal/extmem"
 	"trilist/internal/listing"
 	"trilist/internal/obsv"
 	"trilist/internal/order"
@@ -69,7 +73,16 @@ type JobSpec struct {
 	// Seed feeds the uniform order's RNG; other orders ignore it.
 	Seed uint64 `json:"seed,omitempty"`
 	// Workers parallelizes the sweep (0 = serial). Capped at GOMAXPROCS.
+	// With Parts > 0 it sizes the block-triple worker pool instead;
+	// results are identical at any worker count either way.
 	Workers int `json:"workers,omitempty"`
+	// Parts > 0 runs the job through the external-memory partitioned
+	// lister: the orientation is split into Parts label ranges and swept
+	// one block-triple pass at a time (Workers passes concurrently).
+	// Partitioned jobs use the fixed E2-style block merge, so an explicit
+	// method is rejected; order defaults to descending. Capped at
+	// MaxParts. The response gains parts/passes/io fields.
+	Parts int `json:"parts,omitempty"`
 	// Limit bounds the triangles recorded by a list job (default and cap
 	// come from the server options). The sweep stops once reached and
 	// the job reports truncated=true.
@@ -91,6 +104,7 @@ type Job struct {
 	kernel listing.Kernel
 	list   bool
 	limit  int
+	parts  int
 	// planned marks a job whose method/order came from the planner;
 	// predicted is the plan's total model-op prediction for the pair.
 	planned   bool
@@ -104,6 +118,7 @@ type Job struct {
 	status    JobStatus
 	errMsg    string
 	stats     listing.Stats
+	partRes   *extmem.Result
 	maxOutDeg int64
 	truncated bool
 	limitHit  bool
@@ -148,6 +163,12 @@ type JobView struct {
 	PredictedCost        float64 `json:"predicted_cost,omitempty"`
 	ActualAdvWork        int64   `json:"actual_adv_work,omitempty"`
 	PredictedActualRatio float64 `json:"predicted_actual_ratio,omitempty"`
+	// Parts, Passes and IO appear on partitioned jobs: the partition
+	// count actually used, the block-triple passes committed, and the
+	// block-store traffic meters (deterministic at any worker count).
+	Parts  int             `json:"parts,omitempty"`
+	Passes int64           `json:"passes,omitempty"`
+	IO     *extmem.IOStats `json:"io,omitempty"`
 	// TriangleList carries up to Limit triangles (list mode only) as
 	// [x, y, z] triples in relabeled IDs.
 	TriangleList [][3]int32 `json:"triangle_list,omitempty"`
@@ -191,6 +212,14 @@ func (j *Job) View() JobView {
 				v.PredictedActualRatio = j.predicted / float64(v.ActualAdvWork)
 			}
 		}
+	}
+	if j.parts > 0 {
+		v.Parts = j.parts
+	}
+	if j.partRes != nil {
+		v.Passes = j.partRes.Passes
+		io := j.partRes.IO
+		v.IO = &io
 	}
 	if j.list {
 		v.Limit = j.limit
@@ -295,6 +324,11 @@ func parseOrder(s string) (kind order.Kind, auto bool, err error) {
 	}
 }
 
+// MaxParts caps a job's requested partition count: P³ triple passes
+// get scheduled, so an unbounded P would turn one request into a
+// quarter-million tiny passes.
+const MaxParts = 64
+
 // Enqueue validates the spec and admits the job to the bounded queue.
 // Returns ErrDraining during shutdown and ErrQueueFull at capacity.
 func (mgr *Manager) Enqueue(spec JobSpec) (*Job, error) {
@@ -302,12 +336,29 @@ func (mgr *Manager) Enqueue(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, err
 	}
+	if spec.Parts < 0 {
+		return nil, fmt.Errorf("negative parts %d", spec.Parts)
+	}
+	if spec.Parts > MaxParts {
+		spec.Parts = MaxParts
+	}
 	var (
 		method    listing.Method
 		planned   bool
 		predicted float64
 	)
-	if spec.Method == "" || strings.EqualFold(spec.Method, "auto") {
+	if spec.Parts > 0 {
+		// Partitioned jobs run the fixed E2-style block-merge sweep; the
+		// planner's method grid does not apply, and an explicit method
+		// would silently not be honored — reject instead.
+		if spec.Method != "" && !strings.EqualFold(spec.Method, "auto") {
+			return nil, fmt.Errorf("parts > 0 uses the partitioned E2 block sweep; method %q cannot be combined with it", spec.Method)
+		}
+		method = listing.E2
+		if orderAuto {
+			kind = order.KindDescending
+		}
+	} else if spec.Method == "" || strings.EqualFold(spec.Method, "auto") {
 		// Planner-driven resolution (memoized per graph; also the
 		// registration check for this path). An explicit order constrains
 		// the search to its column of the grid; only the degenerate order
@@ -397,6 +448,7 @@ func (mgr *Manager) Enqueue(spec JobSpec) (*Job, error) {
 		kernel:    kern,
 		list:      isList,
 		limit:     limit,
+		parts:     spec.Parts,
 		planned:   planned,
 		predicted: predicted,
 		ctx:       ctx,
@@ -506,8 +558,38 @@ func (mgr *Manager) runJob(j *Job) {
 		}
 	}
 	start := time.Now()
-	st, runErr := listing.RunParallelCtx(j.ctx, o, j.method, j.spec.Workers, visit,
-		listing.WithKernel(j.kernel), listing.WithRecorder(rec))
+	var st listing.Stats
+	var runErr error
+	if j.parts > 0 {
+		// Partitioned sweep: block-triple schedule on the scatter/gather
+		// executor, spilling to a per-job subdir when configured (core
+		// removes the block files on every path; the subdir itself is
+		// dropped here).
+		spill := ""
+		if mgr.opts.SpillDir != "" {
+			spill = filepath.Join(mgr.opts.SpillDir, j.id)
+		}
+		var res core.Result
+		res, runErr = core.ListOriented(j.ctx, o, core.Config{
+			Order:      j.kind,
+			Workers:    j.spec.Workers,
+			Recorder:   rec,
+			Parts:      j.parts,
+			SpillDir:   spill,
+			Speculate:  j.spec.Workers > 1,
+			ExecEvents: mgr.execEventHook(),
+		}, visit)
+		st = res.Stats
+		j.mu.Lock()
+		j.partRes = res.Partitioned
+		j.mu.Unlock()
+		if spill != "" {
+			_ = os.Remove(spill)
+		}
+	} else {
+		st, runErr = listing.RunParallelCtx(j.ctx, o, j.method, j.spec.Workers, visit,
+			listing.WithKernel(j.kernel), listing.WithRecorder(rec))
+	}
 
 	snap := rec.Snapshot()
 	j.mu.Lock()
@@ -557,19 +639,51 @@ func (mgr *Manager) finalize(j *Job, st listing.Stats, maxOut int64, runErr erro
 		// (small graphs fit in one block).
 		j.status = JobDone
 		j.truncated = j.limitHit
-	default:
+	case errors.Is(runErr, context.Canceled), errors.Is(runErr, context.DeadlineExceeded):
 		j.status = JobCancelled
 		if errors.Is(runErr, context.DeadlineExceeded) {
 			j.errMsg = "deadline exceeded"
 		} else {
 			j.errMsg = "cancelled"
 		}
+	default:
+		// A real execution failure (e.g. a partitioned job's block store
+		// erroring out after retries) is failed, not cancelled — the
+		// client did not ask for the stop and should see the cause.
+		j.status = JobFailed
+		j.errMsg = runErr.Error()
 	}
 	if mgr.m != nil {
-		if j.status == JobCancelled {
+		switch j.status {
+		case JobCancelled:
 			mgr.m.jobsCancelled.Inc()
-		} else {
+		case JobFailed:
+			mgr.m.jobsFailed.Inc()
+		default:
 			mgr.m.jobsCompleted.Inc()
+		}
+	}
+}
+
+// execEventHook adapts the partitioned executor's event stream to the
+// trid_exec_* meters. Called from triple-pass worker goroutines; the
+// metrics registry is lock-free, so the hook is concurrency-safe.
+func (mgr *Manager) execEventHook() func(exec.Event) {
+	m := mgr.m
+	if m == nil {
+		return nil
+	}
+	return func(ev exec.Event) {
+		switch ev.Status {
+		case exec.StatusRetry:
+			m.execRetries.Inc()
+		case exec.StatusReissued:
+			m.execStragglers.Inc()
+		case exec.StatusOK:
+			m.execTriples.With(string(ev.Status)).Inc()
+			m.execTripleDuration.Observe(ev.Duration.Seconds())
+		default:
+			m.execTriples.With(string(ev.Status)).Inc()
 		}
 	}
 }

@@ -44,6 +44,11 @@ type serverMetrics struct {
 	plannerJobs  *metrics.CounterVec   // labeled by the method the planner chose
 	plannerRatio *metrics.HistogramVec // predicted/actual model ops, labeled by method
 
+	execTriples        *metrics.CounterVec // block-triple executions by outcome
+	execRetries        *metrics.Counter
+	execStragglers     *metrics.Counter
+	execTripleDuration *metrics.Histogram
+
 	uploadsOpen      *metrics.Gauge
 	uploadsCommitted *metrics.Counter
 	uploadBytes      *metrics.Counter
@@ -90,6 +95,15 @@ func newServerMetrics() *serverMetrics {
 		plannerRatio: r.NewHistogramVec("trid_planner_predicted_actual_ratio",
 			"Predicted model cost divided by the executed sweep's actual model ops, per planner-chosen method. Buckets bracket 1.0: below = model underestimates, above = overestimates.",
 			"method", plannerRatioBuckets),
+
+		execTriples: r.NewCounterVec("trid_exec_triples_total",
+			"Block-triple pass executions of partitioned jobs by outcome (ok, failed, duplicate, abandoned).", "status"),
+		execRetries: r.NewCounter("trid_exec_retries_total",
+			"Block-triple pass attempts retried after a transient store failure."),
+		execStragglers: r.NewCounter("trid_exec_stragglers_total",
+			"Speculative straggler re-issues of in-flight block-triple passes."),
+		execTripleDuration: r.NewHistogram("trid_exec_triple_duration_seconds",
+			"Wall-clock duration of winning block-triple pass executions.", metrics.DefBuckets),
 
 		uploadsOpen:      r.NewGauge("trid_uploads_open", "Chunked uploads currently spooling."),
 		uploadsCommitted: r.NewCounter("trid_uploads_committed_total", "Chunked uploads committed into the registry."),
