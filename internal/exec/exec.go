@@ -95,6 +95,16 @@ type Options struct {
 	// run cancellation. Context errors from the run's own cancellation
 	// never reach it.
 	IsRetryable func(error) bool
+	// IssueOrder, when non-nil, must be a permutation of [0, n): fresh
+	// tasks are handed to workers in this order instead of index order.
+	// Commit order — and therefore every result, meter and visitor call
+	// — is unchanged (strict index order); only the schedule moves. The
+	// multi-node coordinator issues predicted-expensive block triples
+	// first so one giant straggler cannot dominate the makespan. The
+	// serial path ignores it: with one worker, issue and commit are the
+	// same loop, and reordering would require unbounded result
+	// buffering for no observable benefit.
+	IssueOrder []int
 	// OnEvent, when non-nil, receives every executor event. Called from
 	// worker goroutines — must be concurrency-safe.
 	OnEvent func(Event)
@@ -124,10 +134,14 @@ type engine[T any] struct {
 	opts Options
 	n    int
 	task func(ctx context.Context, index int) (T, error)
+	// order is a private copy of opts.IssueOrder (nil = index order);
+	// pick may reorder its unissued tail, never the caller's slice.
+	order []int
 
 	mu   sync.Mutex
 	cond *sync.Cond
-	// next is the lowest never-issued index.
+	// next is the count of fresh issues so far: an index under the
+	// default schedule, a cursor into opts.IssueOrder under a custom one.
 	next    int
 	results []T
 	done    []bool
@@ -161,10 +175,27 @@ func Run[T any](ctx context.Context, n int, task func(ctx context.Context, index
 	if n <= 0 {
 		return nil
 	}
+	if opts.IssueOrder != nil {
+		if len(opts.IssueOrder) != n {
+			return fmt.Errorf("exec: IssueOrder has %d entries for %d tasks", len(opts.IssueOrder), n)
+		}
+		seen := make([]bool, n)
+		for _, i := range opts.IssueOrder {
+			if i < 0 || i >= n || seen[i] {
+				return fmt.Errorf("exec: IssueOrder is not a permutation of [0,%d)", n)
+			}
+			seen[i] = true
+		}
+	}
+	var order []int
+	if opts.IssueOrder != nil {
+		order = append([]int(nil), opts.IssueOrder...)
+	}
 	e := &engine[T]{
 		opts:     opts,
 		n:        n,
 		task:     task,
+		order:    order,
 		results:  make([]T, n),
 		done:     make([]bool, n),
 		errs:     make([]error, n),
@@ -263,11 +294,34 @@ func (e *engine[T]) pick() (idx int, speculative bool) {
 	}
 	if e.next < e.n && e.failedAt == e.n {
 		i := e.next
+		if e.order != nil {
+			i = e.order[e.next]
+		}
 		e.next++
 		e.inflight[i]++
 		e.copies[i]++
 		e.started[i] = time.Now()
 		return i, false
+	}
+	if e.next < e.n && e.order != nil {
+		// A permanent failure is pending, which normally stops fresh
+		// issuing (nothing past failedAt can commit) — but a custom
+		// order may still hold unissued tasks before the failure that
+		// the committable prefix needs. Swap the first such task to the
+		// cursor and issue it; tasks past failedAt stay unissued in the
+		// tail, so they are still issued normally if a surviving copy of
+		// the failed task later wins and the frontier reopens.
+		for k := e.next; k < e.n; k++ {
+			if e.order[k] < e.failedAt {
+				e.order[e.next], e.order[k] = e.order[k], e.order[e.next]
+				i := e.order[e.next]
+				e.next++
+				e.inflight[i]++
+				e.copies[i]++
+				e.started[i] = time.Now()
+				return i, false
+			}
+		}
 	}
 	if !e.opts.Speculate {
 		return -1, false
@@ -275,9 +329,11 @@ func (e *engine[T]) pick() (idx int, speculative bool) {
 	// Straggler re-issue: the pool is otherwise idle (no fresh work, or
 	// fresh work is pointless past a failure). Tasks beyond failedAt can
 	// never commit, so only copies that help the committable prefix are
-	// launched.
+	// launched. Unissued tasks have inflight == 0 and are skipped below,
+	// so scanning the whole committable prefix is correct under any
+	// issue order.
 	best := -1
-	limit := min(e.next, e.failedAt)
+	limit := e.failedAt
 	for i := 0; i < limit; i++ {
 		if e.done[i] || e.inflight[i] == 0 || e.copies[i] >= maxCopies {
 			continue
@@ -327,6 +383,10 @@ func (e *engine[T]) execute(ictx context.Context, idx int, speculative bool) {
 		}
 		e.emit(Event{Index: idx, Attempt: attempt, Speculative: speculative, Status: StatusRetry, Duration: d, Err: err})
 		if e.opts.Backoff > 0 {
+			// Deadline-aware wait — never time.Sleep here: run
+			// cancellation must interrupt a pending backoff immediately
+			// (regression-tested at ≤10ms), or a cancelled run would sit
+			// out the rest of the backoff with the pool already idle.
 			b := min(e.opts.Backoff<<(attempt-1), backoffCap)
 			t := time.NewTimer(b)
 			select {

@@ -427,6 +427,175 @@ func TestRunBackoffInterruptible(t *testing.T) {
 	}
 }
 
+// TestRunBackoffCancelPrompt: the 10ms regression bound on backoff
+// interruption. The worker is parked inside a retry backoff (capped at
+// 1s, but the next wake would still be ~1s away) when the run is
+// cancelled; Run must return within 10ms of the cancel — the backoff
+// wait is a select on the run context, not a sleep.
+func TestRunBackoffCancelPrompt(t *testing.T) {
+	errFlaky := errors.New("flaky")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	inBackoff := make(chan struct{}, 16)
+	done := make(chan error, 1)
+	go func() {
+		done <- Run(ctx, 1,
+			func(tctx context.Context, i int) (int, error) { return 0, errFlaky },
+			func(int, int) {},
+			Options{
+				Workers: 2, MaxAttempts: 10, Backoff: 30 * time.Second,
+				OnEvent: func(ev Event) {
+					if ev.Status == StatusRetry {
+						inBackoff <- struct{}{}
+					}
+				},
+			})
+	}()
+	<-inBackoff
+	// Give the worker a beat to move from emitting the retry event into
+	// the backoff select; cancelling earlier is also interrupted, it
+	// just exercises a different (immediate) path.
+	time.Sleep(20 * time.Millisecond)
+	t0 := time.Now()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancellation during backoff")
+	}
+	if d := time.Since(t0); d > 10*time.Millisecond {
+		t.Errorf("cancellation took %v to interrupt backoff, want <= 10ms", d)
+	}
+}
+
+// TestRunIssueOrder: a custom issue order hands fresh tasks to workers
+// in exactly that order, while commits remain in strict index order
+// with the same values. The task bodies run in lockstep (each waits for
+// its scheduled predecessor to have started), so an engine that issued
+// out of order would stall and fail via the test context's deadline.
+func TestRunIssueOrder(t *testing.T) {
+	const n = 16
+	order := make([]int, n) // reverse: task n-1 first
+	for i := range order {
+		order[i] = n - 1 - i
+	}
+	pos := func(i int) int { return n - 1 - i }
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	var mu sync.Mutex
+	var started []int
+	var committed []int
+	err := Run(ctx, n,
+		func(tctx context.Context, i int) (int, error) {
+			for {
+				mu.Lock()
+				if len(started) == pos(i) {
+					started = append(started, i)
+					mu.Unlock()
+					return i * i, nil
+				}
+				mu.Unlock()
+				select {
+				case <-tctx.Done():
+					return 0, tctx.Err()
+				case <-time.After(100 * time.Microsecond):
+				}
+			}
+		},
+		func(i, v int) {
+			if v != i*i {
+				t.Errorf("commit(%d) got %d, want %d", i, v, i*i)
+			}
+			committed = append(committed, i)
+		},
+		Options{Workers: 3, IssueOrder: order})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if fmt.Sprint(started) != fmt.Sprint(order) {
+		t.Errorf("issue order %v, want %v", started, order)
+	}
+	for i, idx := range committed {
+		if idx != i {
+			t.Fatalf("commit order broken at position %d: got index %d", i, idx)
+		}
+	}
+	if len(committed) != n {
+		t.Fatalf("committed %d tasks, want %d", len(committed), n)
+	}
+}
+
+// TestRunIssueOrderValidation: a non-permutation is rejected before any
+// task runs; the serial path accepts (and ignores) a valid order.
+func TestRunIssueOrderValidation(t *testing.T) {
+	ran := false
+	task := func(ctx context.Context, i int) (int, error) { ran = true; return i, nil }
+	for name, order := range map[string][]int{
+		"short":      {0, 1},
+		"duplicate":  {0, 1, 1, 3},
+		"outOfRange": {0, 1, 2, 4},
+		"negative":   {0, 1, 2, -1},
+	} {
+		err := Run(context.Background(), 4, task, func(int, int) {}, Options{Workers: 2, IssueOrder: order})
+		if err == nil {
+			t.Errorf("%s: IssueOrder %v accepted, want error", name, order)
+		}
+	}
+	if ran {
+		t.Error("task ran despite invalid IssueOrder")
+	}
+	committed := 0
+	err := Run(context.Background(), 4, task, func(int, int) { committed++ },
+		Options{Workers: 1, IssueOrder: []int{3, 2, 1, 0}})
+	if err != nil || committed != 4 {
+		t.Fatalf("serial with IssueOrder: err=%v committed=%d", err, committed)
+	}
+}
+
+// TestRunIssueOrderFailureStillCommitsPrefix: under a custom order a
+// permanent failure can land while lower indices are still unissued;
+// the engine must keep issuing exactly those (the committable prefix)
+// rather than stalling, then surface the failure with the full prefix
+// committed — the liveness property the multi-node coordinator's
+// cost-weighted schedule depends on.
+func TestRunIssueOrderFailureStillCommitsPrefix(t *testing.T) {
+	errBroken := errors.New("broken")
+	const n = 12
+	bad := n - 3
+	order := make([]int, n) // reverse: bad is issued third, 0..bad-1 last
+	for i := range order {
+		order[i] = n - 1 - i
+	}
+	var committed []int
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	err := Run(ctx, n,
+		func(tctx context.Context, i int) (int, error) {
+			if i == bad {
+				return 0, errBroken
+			}
+			return i, nil
+		},
+		func(i, v int) { committed = append(committed, i) },
+		Options{Workers: 3, MaxAttempts: 1, IssueOrder: order})
+	if !errors.Is(err, errBroken) {
+		t.Fatalf("err = %v, want wrapped %v", err, errBroken)
+	}
+	if len(committed) != bad {
+		t.Fatalf("committed %d tasks, want the full prefix %d", len(committed), bad)
+	}
+	for i, idx := range committed {
+		if idx != i {
+			t.Fatalf("commit order broken at position %d: got index %d", i, idx)
+		}
+	}
+}
+
 // waitGoroutineSettle polls until the goroutine count returns to (near)
 // the baseline — the leak check usable without external deps.
 func waitGoroutineSettle(t *testing.T, baseline int) {

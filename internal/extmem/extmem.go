@@ -150,12 +150,87 @@ func WithRecorder(rec *obsv.Recorder) Option { return func(o *runOptions) { o.re
 // called from worker goroutines and must be concurrency-safe.
 func WithExecEvents(f func(exec.Event)) Option { return func(o *runOptions) { o.onEvent = f } }
 
-// tripleResult is one pass's buffered output: everything needed to
-// commit it deterministically later.
-type tripleResult struct {
-	triangles [][3]int32
-	comps     int64
-	io        IOStats
+// TripleResult is one pass's buffered output: everything needed to
+// commit it deterministically later. It is the unit shipped back from
+// remote workers in multi-node runs (internal/coord), hence the JSON
+// tags: the wire representation round-trips every field exactly, so a
+// coordinator merging remote TripleResults in schedule order produces
+// the same Result bytes as a local Run.
+type TripleResult struct {
+	Triangles   [][3]int32 `json:"triangles,omitempty"`
+	Comparisons int64      `json:"comparisons"`
+	IO          IOStats    `json:"io"`
+}
+
+// ClampParts returns the effective partition count for a graph of n
+// nodes: parts, clamped to n when the graph is smaller than the
+// requested split (a range narrower than one label is useless). Run
+// applies this internally; coordinators apply it before enumerating
+// Triples so their schedule matches Run's exactly.
+func ClampParts(parts, n int) int {
+	if parts > n && n > 0 {
+		return n
+	}
+	return parts
+}
+
+// Partition writes every arc of the oriented graph into its block:
+// arc y → x lands in (part(y), part(x)) with part(v) = v·parts/n over
+// contiguous label ranges. Appends are buffered per block and issued
+// serially (BlockStore write paths need not be concurrency-safe).
+// Returns the number of arcs written — the write half of Result.IO.
+// parts must already be valid (≥ 1 and ≤ n; see ClampParts).
+func Partition(o *digraph.Oriented, parts int, store BlockStore) (int64, error) {
+	n := o.NumNodes()
+	if n == 0 {
+		return 0, nil
+	}
+	part := func(v int32) int { return int(int64(v) * int64(parts) / int64(n)) }
+	var written int64
+	buf := make(map[[2]int][]Arc)
+	flush := func(key [2]int) error {
+		if arcs := buf[key]; len(arcs) > 0 {
+			if err := store.Append(key[0], key[1], arcs); err != nil {
+				return err
+			}
+			written += int64(len(arcs))
+			buf[key] = buf[key][:0]
+		}
+		return nil
+	}
+	for y := int32(0); int(y) < n; y++ {
+		py := part(y)
+		for _, x := range o.Out(y) {
+			key := [2]int{py, part(x)}
+			buf[key] = append(buf[key], Arc{Y: y, X: x})
+			if len(buf[key]) >= 1<<12 {
+				if err := flush(key); err != nil {
+					return written, err
+				}
+			}
+		}
+	}
+	for key := range buf {
+		if err := flush(key); err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}
+
+// Triples enumerates the non-decreasing partition triples (a, b, c) in
+// lexicographic order — the protocol-fixed schedule and commit order
+// shared by Run and every coordinator.
+func Triples(parts int) [][3]int {
+	triples := make([][3]int, 0, parts*(parts+1)*(parts+2)/6)
+	for a := 0; a < parts; a++ {
+		for b := a; b < parts; b++ {
+			for c := b; c < parts; c++ {
+				triples = append(triples, [3]int{a, b, c})
+			}
+		}
+	}
+	return triples
 }
 
 // Run lists all triangles of the oriented graph with P partitions,
@@ -198,64 +273,27 @@ func Run(ctx context.Context, o *digraph.Oriented, parts int, store BlockStore, 
 	if visit == nil {
 		visit = func(x, y, z int32) {}
 	}
-	part := func(v int32) int { return int(int64(v) * int64(parts) / int64(n)) }
 
-	// Partitioning pass: write every arc to its block, buffered per
-	// block to amortize Append calls. Serial — the write path of the
-	// store is not required to be concurrency-safe.
-	buf := make(map[[2]int][]Arc)
-	flush := func(key [2]int) error {
-		if arcs := buf[key]; len(arcs) > 0 {
-			if err := store.Append(key[0], key[1], arcs); err != nil {
-				return err
-			}
-			res.IO.ArcsWritten += int64(len(arcs))
-			buf[key] = buf[key][:0]
-		}
-		return nil
-	}
-	for y := int32(0); int(y) < n; y++ {
-		py := part(y)
-		for _, x := range o.Out(y) {
-			key := [2]int{py, part(x)}
-			buf[key] = append(buf[key], Arc{Y: y, X: x})
-			if len(buf[key]) >= 1<<12 {
-				if err := flush(key); err != nil {
-					return res, err
-				}
-			}
-		}
-	}
-	for key := range buf {
-		if err := flush(key); err != nil {
-			return res, err
-		}
+	written, err := Partition(o, parts, store)
+	res.IO.ArcsWritten = written
+	if err != nil {
+		return res, err
 	}
 
-	// Enumerate the non-decreasing triples in lexicographic order — the
-	// protocol-fixed schedule and commit order.
-	triples := make([][3]int, 0, parts*(parts+1)*(parts+2)/6)
-	for a := 0; a < parts; a++ {
-		for b := a; b < parts; b++ {
-			for c := b; c < parts; c++ {
-				triples = append(triples, [3]int{a, b, c})
-			}
-		}
-	}
-
-	err := exec.Run(ctx, len(triples),
-		func(tctx context.Context, idx int) (tripleResult, error) {
+	triples := Triples(parts)
+	err = exec.Run(ctx, len(triples),
+		func(tctx context.Context, idx int) (TripleResult, error) {
 			tr := triples[idx]
 			sp := ro.rec.Start(StageTriple)
 			defer sp.End()
-			return runTriple(tctx, store, tr[0], tr[1], tr[2])
+			return RunTriple(tctx, store, tr[0], tr[1], tr[2])
 		},
-		func(idx int, tr tripleResult) {
+		func(idx int, tr TripleResult) {
 			res.Passes++
-			res.Comparisons += tr.comps
-			res.IO.ArcsRead += tr.io.ArcsRead
-			res.IO.BlockReads += tr.io.BlockReads
-			for _, t := range tr.triangles {
+			res.Comparisons += tr.Comparisons
+			res.IO.ArcsRead += tr.IO.ArcsRead
+			res.IO.BlockReads += tr.IO.BlockReads
+			for _, t := range tr.Triangles {
 				res.Triangles++
 				visit(t[0], t[1], t[2])
 			}
@@ -288,17 +326,19 @@ func groupByY(arcs []Arc) adjacency {
 	return m
 }
 
-// runTriple lists the triangles whose corners fall in partitions
+// RunTriple lists the triangles whose corners fall in partitions
 // (a, b, c): x ∈ a, y ∈ b, z ∈ c. Required blocks: y→x arcs in (b, a),
 // z→y in (c, b), z→x in (c, a). For every arc z→y, the candidates x are
 // the intersection of y's down-neighbors in (b,a) with z's
 // down-neighbors in (c,a) — the E2 sweep of the paper restricted to the
-// triple. Triangles are buffered, not emitted: the executor commits
-// them in schedule order. ctx is checked between block reads, so a
-// cancellation or per-triple timeout interrupts a pass within one
-// block read.
-func runTriple(ctx context.Context, store BlockStore, a, b, c int) (tripleResult, error) {
-	var tr tripleResult
+// triple. Triangles are buffered, not emitted: the executor (or a
+// remote coordinator) commits them in schedule order. ctx is checked
+// between block reads, so a cancellation or per-triple timeout
+// interrupts a pass within one block read. Exported so trid worker
+// nodes can execute a single pass against a locally cached partition
+// set on behalf of a coordinator.
+func RunTriple(ctx context.Context, store BlockStore, a, b, c int) (TripleResult, error) {
+	var tr TripleResult
 	read := func(i, j int) ([]Arc, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -307,8 +347,8 @@ func runTriple(ctx context.Context, store BlockStore, a, b, c int) (tripleResult
 		if err != nil {
 			return nil, err
 		}
-		tr.io.BlockReads++
-		tr.io.ArcsRead += int64(len(arcs))
+		tr.IO.BlockReads++
+		tr.IO.ArcsRead += int64(len(arcs))
 		return arcs, nil
 	}
 	eBA, err := read(b, a)
@@ -343,7 +383,7 @@ func runTriple(ctx context.Context, store BlockStore, a, b, c int) (tripleResult
 		}
 		i, j := 0, 0
 		for i < len(ly) && j < len(lz) {
-			tr.comps++
+			tr.Comparisons++
 			switch {
 			case ly[i] < lz[j]:
 				i++
@@ -355,7 +395,7 @@ func runTriple(ctx context.Context, store BlockStore, a, b, c int) (tripleResult
 				// global ordering x < y < z must hold (it is automatic
 				// across distinct partitions).
 				if x < y && y < z {
-					tr.triangles = append(tr.triangles, [3]int32{x, y, z})
+					tr.Triangles = append(tr.Triangles, [3]int32{x, y, z})
 				}
 				i++
 				j++

@@ -1,0 +1,176 @@
+package extmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"slices"
+)
+
+// Wire format for shipping a whole partition set to a remote worker,
+// used by the multi-node coordinator (internal/coord) and the trid
+// worker API. One payload carries every block of one (graph, parts)
+// partitioning:
+//
+//	magic   "TRBLKS1\n"                        8 bytes
+//	parts   uint32 LE
+//	nblocks uint32 LE
+//	header  nblocks × (i uint32, j uint32, count uint32) LE
+//	arcs    per block, in header order: count × (y int32, x int32) LE
+//
+// The encoding is canonical — blocks sorted by (i, j), empty blocks
+// omitted — so equal partition sets produce equal bytes and the
+// payload hash is a usable content address. Decoding is written for
+// hostile input (the worker endpoint is a network surface): every
+// length is validated against the actual payload size before any
+// count-derived allocation, mirroring the TRCSRF reader's discipline.
+
+// blocksMagic identifies a partition-set payload, version 1.
+const blocksMagic = "TRBLKS1\n"
+
+// maxWireParts caps the partition count a payload may declare. The
+// coordinator clamps parts to the node count and schedules ~parts³/6
+// passes, so anything near this bound is absurd; rejecting it here
+// keeps a forged header from smuggling a nonsense geometry into a
+// worker's cache.
+const maxWireParts = 1 << 24
+
+const (
+	blocksHeaderLen = len(blocksMagic) + 8 // magic + parts + nblocks
+	blockEntryLen   = 12                   // i + j + count
+	arcRecLen       = 8                    // y + x
+)
+
+// EncodeBlocks serializes a partition set in canonical form. parts is
+// the effective partition count (after ClampParts); every block key
+// must satisfy 0 <= j <= i < parts.
+func EncodeBlocks(parts int, blocks map[[2]int][]Arc) ([]byte, error) {
+	if parts < 1 || parts > maxWireParts {
+		return nil, fmt.Errorf("extmem: encode: invalid parts %d", parts)
+	}
+	keys := make([][2]int, 0, len(blocks))
+	var totalArcs int64
+	for k, arcs := range blocks {
+		if len(arcs) == 0 {
+			continue
+		}
+		if k[1] < 0 || k[0] < k[1] || k[0] >= parts {
+			return nil, fmt.Errorf("extmem: encode: block key (%d,%d) out of range for %d parts", k[0], k[1], parts)
+		}
+		if int64(len(arcs)) > 1<<31-1 {
+			return nil, fmt.Errorf("extmem: encode: block (%d,%d) too large (%d arcs)", k[0], k[1], len(arcs))
+		}
+		keys = append(keys, k)
+		totalArcs += int64(len(arcs))
+	}
+	slices.SortFunc(keys, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	})
+	size := int64(blocksHeaderLen) + int64(blockEntryLen)*int64(len(keys)) + arcRecLen*totalArcs
+	buf := make([]byte, 0, size)
+	buf = append(buf, blocksMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(parts))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(keys)))
+	for _, k := range keys {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(k[0]))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(k[1]))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blocks[k])))
+	}
+	for _, k := range keys {
+		for _, a := range blocks[k] {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(a.Y))
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(a.X))
+		}
+	}
+	return buf, nil
+}
+
+// DecodeBlocks parses a partition-set payload, validating structure
+// before allocating anything sized by untrusted counts: the header
+// table must fit the payload, keys must be strictly increasing and in
+// range, and the declared arc total must match the remaining bytes
+// exactly — trailing garbage is an error, not padding.
+func DecodeBlocks(data []byte) (parts int, blocks map[[2]int][]Arc, err error) {
+	if len(data) < blocksHeaderLen {
+		return 0, nil, fmt.Errorf("extmem: decode: payload too short (%d bytes)", len(data))
+	}
+	if string(data[:len(blocksMagic)]) != blocksMagic {
+		return 0, nil, fmt.Errorf("extmem: decode: bad magic")
+	}
+	parts = int(binary.LittleEndian.Uint32(data[len(blocksMagic):]))
+	nblocks := int64(binary.LittleEndian.Uint32(data[len(blocksMagic)+4:]))
+	if parts < 1 || parts > maxWireParts {
+		return 0, nil, fmt.Errorf("extmem: decode: invalid parts %d", parts)
+	}
+	rest := int64(len(data) - blocksHeaderLen)
+	if nblocks*blockEntryLen > rest {
+		return 0, nil, fmt.Errorf("extmem: decode: header declares %d blocks but only %d bytes follow", nblocks, rest)
+	}
+	header := data[blocksHeaderLen:]
+	var totalArcs int64
+	prev := [2]int{-1, -1}
+	keys := make([][2]int, nblocks)
+	counts := make([]int, nblocks)
+	for b := int64(0); b < nblocks; b++ {
+		off := b * blockEntryLen
+		i := int(binary.LittleEndian.Uint32(header[off:]))
+		j := int(binary.LittleEndian.Uint32(header[off+4:]))
+		count := int64(binary.LittleEndian.Uint32(header[off+8:]))
+		if j > i || i >= parts {
+			return 0, nil, fmt.Errorf("extmem: decode: block key (%d,%d) out of range for %d parts", i, j, parts)
+		}
+		if i < prev[0] || (i == prev[0] && j <= prev[1]) {
+			return 0, nil, fmt.Errorf("extmem: decode: block keys not strictly increasing at (%d,%d)", i, j)
+		}
+		if count == 0 {
+			return 0, nil, fmt.Errorf("extmem: decode: empty block (%d,%d) (non-canonical)", i, j)
+		}
+		prev = [2]int{i, j}
+		keys[b] = [2]int{i, j}
+		counts[b] = int(count)
+		totalArcs += count
+	}
+	if got, want := rest, nblocks*blockEntryLen+arcRecLen*totalArcs; got != want {
+		return 0, nil, fmt.Errorf("extmem: decode: payload is %d bytes past the header, header declares %d", got, want)
+	}
+	arcData := header[nblocks*blockEntryLen:]
+	blocks = make(map[[2]int][]Arc, nblocks)
+	off := 0
+	for b := range keys {
+		arcs := make([]Arc, counts[b])
+		for a := range arcs {
+			arcs[a] = Arc{
+				Y: int32(binary.LittleEndian.Uint32(arcData[off:])),
+				X: int32(binary.LittleEndian.Uint32(arcData[off+4:])),
+			}
+			off += arcRecLen
+		}
+		blocks[keys[b]] = arcs
+	}
+	return parts, blocks, nil
+}
+
+// LoadBlocks appends a decoded partition set into an empty store, in
+// canonical (sorted-key) order so the resulting per-block append order
+// — and therefore every Read a worker serves from it — matches the
+// coordinator's own store byte for byte.
+func LoadBlocks(store BlockStore, blocks map[[2]int][]Arc) error {
+	keys := make([][2]int, 0, len(blocks))
+	for k := range blocks {
+		keys = append(keys, k)
+	}
+	slices.SortFunc(keys, func(a, b [2]int) int {
+		if a[0] != b[0] {
+			return a[0] - b[0]
+		}
+		return a[1] - b[1]
+	})
+	for _, k := range keys {
+		if err := store.Append(k[0], k[1], blocks[k]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package extmem
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"testing"
+)
+
+// partitionWall partitions a wall graph into a MemStore and returns
+// the block map.
+func partitionWall(t *testing.T, parts int) (map[[2]int][]Arc, *MemStore) {
+	t.Helper()
+	o := orientedTestGraph(t, 7, 200, 2500)
+	store := NewMemStore()
+	t.Cleanup(func() { store.Close() })
+	if _, err := Partition(o, parts, store); err != nil {
+		t.Fatal(err)
+	}
+	return store.Blocks(), store
+}
+
+// TestBlocksWireRoundTrip: Encode → Decode reproduces the exact block
+// map, the encoding is canonical (identical bytes for identical
+// content, so content hashes are stable set IDs), and LoadBlocks into
+// a fresh store replays every block byte-for-byte.
+func TestBlocksWireRoundTrip(t *testing.T) {
+	const parts = 5
+	blocks, _ := partitionWall(t, parts)
+	if len(blocks) == 0 {
+		t.Fatal("no blocks partitioned")
+	}
+
+	payload, err := EncodeBlocks(parts, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Canonical: a second encode of the same map is byte-identical —
+	// the content-hash set ID depends on it.
+	again, err := EncodeBlocks(parts, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(payload, again) {
+		t.Fatal("encoding is not deterministic")
+	}
+	if sha256.Sum256(payload) != sha256.Sum256(again) {
+		t.Fatal("content hash unstable")
+	}
+
+	gotParts, got, err := DecodeBlocks(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotParts != parts {
+		t.Fatalf("decoded parts=%d, want %d", gotParts, parts)
+	}
+	if len(got) != len(blocks) {
+		t.Fatalf("decoded %d blocks, want %d", len(got), len(blocks))
+	}
+	for key, want := range blocks {
+		arcs, ok := got[key]
+		if !ok {
+			t.Fatalf("block %v missing after round trip", key)
+		}
+		if len(arcs) != len(want) {
+			t.Fatalf("block %v: %d arcs, want %d", key, len(arcs), len(want))
+		}
+		for i := range arcs {
+			if arcs[i] != want[i] {
+				t.Fatalf("block %v arc %d: %v != %v", key, i, arcs[i], want[i])
+			}
+		}
+	}
+
+	// LoadBlocks replays the decoded set into a worker-side store; every
+	// block read must equal the original.
+	fresh := NewMemStore()
+	defer fresh.Close()
+	if err := LoadBlocks(fresh, got); err != nil {
+		t.Fatal(err)
+	}
+	for key, want := range blocks {
+		arcs, err := fresh.Read(key[0], key[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(arcs) != len(want) {
+			t.Fatalf("loaded block %v: %d arcs, want %d", key, len(arcs), len(want))
+		}
+		for i := range arcs {
+			if arcs[i] != want[i] {
+				t.Fatalf("loaded block %v arc %d: %v != %v", key, i, arcs[i], want[i])
+			}
+		}
+	}
+}
+
+// TestEncodeBlocksRejectsInvalid: out-of-range keys and malformed maps
+// are encoder errors, not wire bytes.
+func TestEncodeBlocksRejectsInvalid(t *testing.T) {
+	arc := []Arc{{Y: 1, X: 0}}
+	for name, c := range map[string]struct {
+		parts  int
+		blocks map[[2]int][]Arc
+	}{
+		"parts-zero":     {0, map[[2]int][]Arc{{0, 0}: arc}},
+		"i-out-of-range": {2, map[[2]int][]Arc{{2, 0}: arc}},
+		"j-above-i":      {3, map[[2]int][]Arc{{0, 1}: arc}},
+		"j-negative":     {3, map[[2]int][]Arc{{1, -1}: arc}},
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := EncodeBlocks(c.parts, c.blocks); err == nil {
+				t.Fatalf("%s encoded without error", name)
+			}
+		})
+	}
+}
+
+// corrupt returns a copy of payload with buf[off:off+len(b)] replaced.
+func corrupt(payload []byte, off int, b []byte) []byte {
+	out := append([]byte(nil), payload...)
+	copy(out[off:], b)
+	return out
+}
+
+// TestDecodeBlocksHostileInput: the decoder is a network surface; every
+// malformed shape must be rejected with an error — before any
+// count-sized allocation — never a panic or a silently wrong block map.
+func TestDecodeBlocksHostileInput(t *testing.T) {
+	const parts = 3
+	blocks, _ := partitionWall(t, parts)
+	payload, err := EncodeBlocks(parts, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u32 := func(v uint32) []byte {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		return b[:]
+	}
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"short-magic":      payload[:4],
+		"bad-magic":        corrupt(payload, 0, []byte("TRBLKS9\n")),
+		"truncated-header": payload[:len(blocksMagic)+6],
+		"parts-zero":       corrupt(payload, len(blocksMagic), u32(0)),
+		"parts-huge":       corrupt(payload, len(blocksMagic), u32(1<<31-1)),
+		// nblocks claiming more entries than the payload holds must be
+		// rejected by arithmetic, not by allocating the claimed size.
+		"nblocks-overflow": corrupt(payload, len(blocksMagic)+4, u32(1<<30)),
+		"truncated-arcs":   payload[:len(payload)-3],
+		"trailing-bytes":   append(append([]byte(nil), payload...), 0xCC),
+		// First block entry: i out of range, j above i, absurd count.
+		"entry-i-range":   corrupt(payload, blocksHeaderLen, u32(uint32(parts))),
+		"entry-count-big": corrupt(payload, blocksHeaderLen+8, u32(1<<31-1)),
+		"entry-count-0":   corrupt(payload, blocksHeaderLen+8, u32(0)),
+	}
+	for name, data := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, _, err := DecodeBlocks(data); err == nil {
+				t.Fatalf("%s decoded without error", name)
+			}
+		})
+	}
+
+	// Non-increasing block keys: swap the first two header entries of a
+	// valid payload — same bytes, wrong order — must be rejected so the
+	// canonical form is unique.
+	if len(blocks) >= 2 {
+		swapped := append([]byte(nil), payload...)
+		e0 := swapped[blocksHeaderLen : blocksHeaderLen+blockEntryLen]
+		e1 := swapped[blocksHeaderLen+blockEntryLen : blocksHeaderLen+2*blockEntryLen]
+		tmp := append([]byte(nil), e0...)
+		copy(e0, e1)
+		copy(e1, tmp)
+		if _, _, err := DecodeBlocks(swapped); err == nil {
+			t.Fatal("non-canonical key order decoded without error")
+		}
+	}
+}
+
+// FuzzDecodeBlocks hammers the decoder with mutated payloads: it must
+// never panic, and whatever it accepts must re-encode to the identical
+// canonical bytes (decode∘encode is the identity on valid payloads).
+func FuzzDecodeBlocks(f *testing.F) {
+	o := orientedTestGraph(f, 31, 60, 300)
+	store := NewMemStore()
+	if _, err := Partition(o, 4, store); err == nil {
+		if payload, err := EncodeBlocks(4, store.Blocks()); err == nil {
+			f.Add(payload)
+			f.Add(payload[:len(payload)/2])
+		}
+	}
+	store.Close()
+	f.Add([]byte(blocksMagic))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		parts, blocks, err := DecodeBlocks(data)
+		if err != nil {
+			return
+		}
+		out, err := EncodeBlocks(parts, blocks)
+		if err != nil {
+			t.Fatalf("decoded payload does not re-encode: %v", err)
+		}
+		if !bytes.Equal(out, data) {
+			t.Fatalf("decode∘encode not identity: %d bytes in, %d out", len(data), len(out))
+		}
+	})
+}

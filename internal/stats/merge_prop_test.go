@@ -1,0 +1,102 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+// tripleDurations fabricates a coordinated run's per-pass wall times:
+// a heavy-tailed mix (most passes cheap, same-partition triples much
+// bigger), the shape the coordinator's Report.TaskDurations actually
+// aggregates across nodes.
+func tripleDurations(rng *RNG, n int) []float64 {
+	xs := make([]float64, n)
+	for i := range xs {
+		base := 1e-4 + 1e-3*rng.Float64()
+		if rng.IntN(10) == 0 {
+			base *= 50 + 200*rng.Float64() // a giant pass
+		}
+		xs[i] = base
+	}
+	return xs
+}
+
+// TestMergeTripleShardProperty: the coordinator folds per-node Samples
+// of triple durations with Merge. For random shardings of one result
+// set across a random fleet, and for any order and grouping of the
+// merge fold, the aggregate must agree with the serial sample: N, Min
+// and Max bit-exactly (they are order-free by construction), moments
+// to 1e-12. This is the associativity/commutativity property the
+// Report's fleet-order fold relies on.
+func TestMergeTripleShardProperty(t *testing.T) {
+	rng := NewRNGFromSeed(0xC00D)
+	for trial := 0; trial < 60; trial++ {
+		n := 5 + rng.IntN(300)
+		xs := tripleDurations(rng, n)
+		serial := sampleOf(xs)
+
+		// Deal the passes to a random fleet, as the scheduler would.
+		nodes := 1 + rng.IntN(6)
+		shards := make([][]float64, nodes)
+		for _, x := range xs {
+			nd := rng.IntN(nodes)
+			shards[nd] = append(shards[nd], x)
+		}
+		perNode := make([]Sample, nodes)
+		for i, sh := range shards {
+			perNode[i] = sampleOf(sh)
+		}
+
+		// Commutativity: fold in a random node order.
+		perm := make([]int, nodes)
+		for i := range perm {
+			perm[i] = i
+		}
+		for i := nodes - 1; i > 0; i-- {
+			j := rng.IntN(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		var permuted Sample
+		for _, i := range perm {
+			permuted.Merge(perNode[i])
+		}
+
+		// Associativity: random binary grouping — repeatedly merge two
+		// random entries of a working set until one remains.
+		work := append([]Sample(nil), perNode...)
+		for len(work) > 1 {
+			i := rng.IntN(len(work))
+			j := rng.IntN(len(work))
+			if i == j {
+				continue
+			}
+			if i > j {
+				i, j = j, i
+			}
+			a := work[i]
+			a.Merge(work[j])
+			work[i] = a
+			work = append(work[:j], work[j+1:]...)
+		}
+		grouped := work[0]
+
+		for name, got := range map[string]Sample{"permuted": permuted, "grouped": grouped} {
+			// Count and extrema are exact regardless of fold shape.
+			if got.N() != serial.N() {
+				t.Fatalf("trial %d %s: n=%d, want %d", trial, name, got.N(), serial.N())
+			}
+			if got.Min() != serial.Min() || got.Max() != serial.Max() {
+				t.Fatalf("trial %d %s: min/max %v/%v, want %v/%v",
+					trial, name, got.Min(), got.Max(), serial.Min(), serial.Max())
+			}
+			assertClose(t, name, got, serial)
+		}
+
+		// The two fold shapes also agree with each other to the same
+		// tolerance — no hidden dependence on the Report's fleet order.
+		assertClose(t, "permuted-vs-grouped", permuted, grouped)
+		if math.IsNaN(permuted.Mean()) {
+			t.Fatalf("trial %d: NaN mean from %d samples", trial, n)
+		}
+	}
+}
