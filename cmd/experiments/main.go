@@ -49,16 +49,18 @@ func run(args []string, w io.Writer) error {
 	workers := fs.Int("workers", runtime.GOMAXPROCS(0),
 		"goroutines running Monte-Carlo trials and prepare stages; output is identical for any value")
 	csvDir := fs.String("csv", "", "also write each table as CSV into this directory")
-	kernels := fs.String("kernel", "merge,gallop,bitmap,auto",
+	kernels := fs.String("kernel", "merge,gallop,bitmap,auto,bits,hybrid",
 		"comma-separated intersection kernels for -table kernels/pipeline")
+	kernelsBase := fs.String("kernels-baseline", "",
+		"recorded BENCH_kernels.json to gate -table kernels against (empty = no gate)")
 	benchOut := fs.String("bench-out", "BENCH_pipeline.json",
 		"where -table pipeline writes its JSON measurements (empty = don't write)")
 	baseline := fs.String("baseline", "",
 		"recorded BENCH_pipeline.json to gate -table pipeline against (empty = no gate)")
 	tolerance := fs.Float64("tolerance", 0.25,
 		"fractional best-ms slowdown the -baseline gate tolerates (0.25 = 25%)")
-	trials := fs.Int("trials", 0, "timed repetitions per pipeline cell (0 = default 3)")
-	pipeN := fs.Int("n", 0, "graph size for -table pipeline/planner (0 = table default)")
+	trials := fs.Int("trials", 0, "timed repetitions per pipeline/kernels cell (0 = default 3)")
+	pipeN := fs.Int("n", 0, "graph size for -table pipeline/planner/kernels (0 = table default)")
 	plannerOut := fs.String("planner-out", "BENCH_planner.json",
 		"where -table planner writes its JSON validation document (empty = don't write)")
 	plannerBase := fs.String("planner-baseline", "",
@@ -224,7 +226,7 @@ func run(args []string, w io.Writer) error {
 		// Wall-clock kernel ablation; opt-in only (not part of "all",
 		// which stays purely analytical and machine-independent).
 		ran = true
-		kcfg := experiments.KernelConfig{Seed: cfg.Seed}
+		kcfg := experiments.KernelConfig{N: *pipeN, Seed: cfg.Seed, Reps: *trials}
 		for _, s := range strings.Split(*kernels, ",") {
 			k, err := listing.ParseKernel(strings.TrimSpace(s))
 			if err != nil {
@@ -233,7 +235,7 @@ func run(args []string, w io.Writer) error {
 			kcfg.Kernels = append(kcfg.Kernels, k)
 		}
 		t0 := time.Now()
-		rows, err := experiments.TableKernels(kcfg)
+		bench, rows, err := experiments.TableKernels(kcfg)
 		if err != nil {
 			return err
 		}
@@ -245,9 +247,32 @@ func run(args []string, w io.Writer) error {
 			return err
 		}
 		if err := writeCSV("BENCH_kernels.json", func(f io.Writer) error {
-			return experiments.WriteKernelsJSON(f, rows)
+			return experiments.WriteKernelsJSON(f, bench)
 		}); err != nil {
 			return err
+		}
+		if *kernelsBase != "" {
+			f, err := os.Open(*kernelsBase)
+			if err != nil {
+				return err
+			}
+			base, err := experiments.ReadKernelsJSON(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			if !experiments.ComparableKernelHosts(bench, base) {
+				fmt.Fprintf(w, "note: baseline host shape unknown or different (baseline %d CPU / GOMAXPROCS %d, current %d/%d); wall-clock comparisons skipped\n",
+					base.NumCPU, base.GoMaxProcs, bench.NumCPU, bench.GoMaxProcs)
+			}
+			if violations := experiments.CompareKernels(bench, base, *tolerance); len(violations) > 0 {
+				for _, v := range violations {
+					fmt.Fprintln(w, "REGRESSION:", v)
+				}
+				return fmt.Errorf("kernels benchmark regressed against %s (%d violations)",
+					*kernelsBase, len(violations))
+			}
+			fmt.Fprintf(w, "kernels baseline gate passed (%s, tolerance %.0f%%)\n", *kernelsBase, *tolerance*100)
 		}
 	}
 	if *table == "pipeline" {

@@ -16,9 +16,12 @@
 // mode. With an explicit method and -order auto, the paper-optimal
 // order for the method is used (θ_D for T1/E1, RR for T2, CRR for
 // E4, ...). -kernel picks the neighbor-intersection strategy (merge,
-// gallop, bitmap, or auto, the adaptive default); kernels change only
-// wall-clock speed — the triangle set and every reported cost meter are
-// kernel-invariant. -print emits each triangle as "x y z" in relabeled
+// gallop, bitmap, the bit-parallel bits/hybrid pair, or auto, the
+// adaptive default); kernels change only wall-clock speed — the
+// triangle set and every reported cost meter are kernel-invariant.
+// -core-thresh sets the bit tier's core degree threshold τ for
+// -kernel bits/hybrid (0 = every vertex with a neighbor list gets a
+// packed row, budget permitting). -print emits each triangle as "x y z" in relabeled
 // IDs; omit it to report only the count and cost meters. Input may be a
 // MatrixMarket .mtx file, a SNAP-style text edge list, the mmap-able
 // TRCSRF CSR format, or the binary CSR stream — auto-detected, or
@@ -79,7 +82,8 @@ func run(args []string, out io.Writer) error {
 	formatName := fs.String("format", "auto", "input format: auto, mtx, snap, csr, binary")
 	methodName := fs.String("method", "auto", "listing method: auto (planner-chosen) or T1-T6, E1-E6, L1-L6")
 	orderName := fs.String("order", "auto", "order: auto, ascending, descending, round-robin, crr, uniform, degenerate")
-	kernelName := fs.String("kernel", "auto", "intersection kernel: merge, gallop, bitmap, auto")
+	kernelName := fs.String("kernel", "auto", "intersection kernel: merge, gallop, bitmap, bits, hybrid, auto")
+	coreThresh := fs.Int("core-thresh", 0, "bit-tier core degree threshold for -kernel bits/hybrid (0 = all listed vertices)")
 	plan := fs.Bool("plan", false, "print the planner's ranked (method, order) cost table and exit without running")
 	print := fs.Bool("print", false, "print each triangle (relabeled IDs x y z)")
 	seed := fs.Uint64("seed", 1, "seed for the uniform order")
@@ -202,7 +206,8 @@ func run(args []string, out io.Writer) error {
 		printStages(w, rec)
 		return err
 	}
-	res, err := core.ListCtx(ctx, g, core.Config{Method: method, Order: kind, Seed: *seed, Workers: *workers, Kernel: kern, Recorder: rec}, visit)
+	res, err := core.ListCtx(ctx, g, core.Config{Method: method, Order: kind, Seed: *seed, Workers: *workers,
+		Kernel: kern, CoreThreshold: int32(*coreThresh), Recorder: rec}, visit)
 	if errors.Is(err, context.DeadlineExceeded) {
 		// Non-zero exit, but report how far the sweep got.
 		printStages(w, rec)
@@ -217,6 +222,10 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(w, "# model-ops=%d (per-node cost %.3f)\n",
 		res.ModelOps(), float64(res.ModelOps())/float64(g.NumNodes()))
 	fmt.Fprintf(w, "# max-out-degree=%d\n", res.MaxOutDeg)
+	if kern == listing.KernelBits || kern == listing.KernelHybrid {
+		fmt.Fprintf(w, "# bit-tier: tau=%d core-vertices=%d row-bytes=%d core-pairs=%d fringe-pairs=%d\n",
+			res.Tier.Threshold, res.Tier.CoreVertices, res.Tier.RowBytes, res.Tier.CorePairs, res.Tier.FringePairs)
+	}
 	fmt.Fprintf(w, "# prep=%v list=%v\n", res.PrepTime, res.ListTime)
 	printStages(w, rec)
 	return nil

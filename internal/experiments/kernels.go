@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
+	"slices"
 	"strings"
 	"time"
 
@@ -12,18 +14,27 @@ import (
 	"trilist/internal/gen"
 	"trilist/internal/listing"
 	"trilist/internal/order"
+	"trilist/internal/planner"
 	"trilist/internal/stats"
 )
 
 // This file is the kernel ablation: wall-clock speed of the
-// neighbor-intersection kernels (merge / gallop / bitmap / auto) on the
-// paper's workload. The paper's model prices every SEI method in list
-// elements scanned and is deliberately kernel-agnostic; this experiment
-// quantifies the constant-factor freedom the model leaves open. Every
-// kernel must return the same triangle count and the same model cost —
-// TableKernels cross-checks both and fails loudly otherwise, so the
-// benchmark doubles as an end-to-end differential test on graphs far
-// larger than the fuzz corpus.
+// neighbor-intersection kernels (merge / gallop / bitmap / auto / bits /
+// hybrid) on the paper's workload. The paper's model prices every SEI
+// method in list elements scanned and is deliberately kernel-agnostic;
+// this experiment quantifies the constant-factor freedom the model
+// leaves open. Every kernel must return the same triangle count and the
+// same model cost — TableKernels cross-checks both and fails loudly
+// otherwise, so the benchmark doubles as an end-to-end differential
+// test on graphs far larger than the fuzz corpus. The bit-parallel
+// kernels run at the planner's priced core threshold, recorded per row,
+// so the published numbers are the ones a kernel=auto job would see.
+
+// KernelsSchema versions the BENCH_kernels.json layout. v2 wrapped the
+// bare v1 row array in a document carrying the workload parameters and
+// the host shape (NumCPU, GoMaxProcs); readers accept v1 arrays, whose
+// missing host fields mean "unknown host".
+const KernelsSchema = "trilist/kernels-bench/v2"
 
 // KernelRow is one (truncation, method, kernel) measurement.
 type KernelRow struct {
@@ -32,12 +43,48 @@ type KernelRow struct {
 	Kernel    listing.Kernel
 	Triangles int64
 	ModelOps  int64
+	// CoreThreshold is the planner-chosen τ the bit-parallel kernels ran
+	// with (0 on pure list kernels, which have no core tier).
+	CoreThreshold int32
 	// BestMS is the fastest of the measured repetitions (the standard
 	// microbenchmark estimator: minimum filters scheduler noise).
 	BestMS float64
 	// Speedup is merge BestMS / this kernel's BestMS on the same
 	// (truncation, method) sweep; 1.0 for merge itself.
 	Speedup float64
+}
+
+// KernelCell is the serialized form of one row in BENCH_kernels.json.
+type KernelCell struct {
+	Truncation    string  `json:"truncation"`
+	Method        string  `json:"method"`
+	Kernel        string  `json:"kernel"`
+	Triangles     int64   `json:"triangles"`
+	ModelOps      int64   `json:"model_ops"`
+	CoreThreshold int32   `json:"core_threshold,omitempty"`
+	BestMS        float64 `json:"best_ms"`
+	Speedup       float64 `json:"speedup_vs_merge"`
+}
+
+// key identifies a cell for baseline matching: everything but the
+// measurements.
+func (c KernelCell) key() string {
+	return fmt.Sprintf("%s/%s/%s", c.Truncation, c.Method, c.Kernel)
+}
+
+// KernelsBench is the persisted benchmark document.
+type KernelsBench struct {
+	Schema string  `json:"schema"`
+	N      int     `json:"n"`
+	Alpha  float64 `json:"alpha"`
+	Seed   uint64  `json:"seed"`
+	Reps   int     `json:"reps"`
+	// NumCPU and GoMaxProcs record the host the bench ran on (schema
+	// v2). Zero (v1 documents) means the host shape is unknown and
+	// wall-clock rows can't be compared meaningfully.
+	NumCPU     int          `json:"num_cpu,omitempty"`
+	GoMaxProcs int          `json:"gomaxprocs,omitempty"`
+	Rows       []KernelCell `json:"rows"`
 }
 
 // KernelConfig parameterizes TableKernels.
@@ -50,7 +97,7 @@ type KernelConfig struct {
 	Seed uint64
 	// Reps is the number of timed repetitions per cell. Default 3.
 	Reps int
-	// Kernels to measure; defaults to all four. Merge is always
+	// Kernels to measure; defaults to all six. Merge is always
 	// included (it is the speedup baseline).
 	Kernels []listing.Kernel
 	// Methods to sweep; defaults to E1 and E2, the two SEI shapes whose
@@ -82,36 +129,58 @@ func (c KernelConfig) withDefaults() KernelConfig {
 
 // TableKernels times every configured kernel on root- and
 // linear-truncated Pareto graphs, orienting by θ_D (the recommended
-// order for E1/E2). It returns rows grouped by truncation then method,
-// kernels in the configured order, and errors if any kernel disagrees
-// with the merge baseline on triangles or model cost.
-func TableKernels(cfg KernelConfig) ([]KernelRow, error) {
+// order for E1/E2). Rows come grouped by truncation then method,
+// kernels in the configured order; the run errors if any kernel
+// disagrees with the merge baseline on triangles or model cost. The
+// bit-parallel kernels run at the core threshold the planner prices
+// for each truncation's fitted degree distribution, so the table
+// reports exactly the configuration kernel=auto resolves to.
+func TableKernels(cfg KernelConfig) (*KernelsBench, []KernelRow, error) {
 	cfg = cfg.withDefaults()
 	p := degseq.StandardPareto(cfg.Alpha)
 	var rows []KernelRow
 	for ti, trunc := range []degseq.Truncation{degseq.RootTruncation, degseq.LinearTruncation} {
 		g, _, err := gen.ParetoGraph(p, cfg.N, trunc, stats.NewRNGFromSeed(cfg.Seed+uint64(ti)))
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
+		// The planner's τ for this workload: the threshold a kernel=auto
+		// job on this graph's fitted distribution would hand the bit tier.
+		// τ is budget-derived and deterministic; only the kernel *choice*
+		// depends on the host calibration, and the table sweeps every
+		// kernel anyway.
+		dist, err := degseq.TruncateFor(p, trunc, int64(cfg.N))
+		if err != nil {
+			return nil, nil, err
+		}
+		plan, err := planner.ComputeDist(dist, int64(cfg.N))
+		if err != nil {
+			return nil, nil, err
+		}
+		thresh := plan.Kernel.CoreThreshold
 		rank, err := order.Rank(g, order.KindDescending, nil)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		o, err := digraph.Orient(g, rank)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		for _, m := range cfg.Methods {
 			var base listing.Stats
 			var baseMS float64
 			haveBase := false
 			for _, k := range cfg.Kernels {
+				opts := []listing.Option{listing.WithKernel(k)}
+				bitTier := k == listing.KernelBits || k == listing.KernelHybrid
+				if bitTier {
+					opts = append(opts, listing.WithCoreThreshold(thresh))
+				}
 				var st listing.Stats
 				best := 0.0
 				for r := 0; r < cfg.Reps; r++ {
 					t0 := time.Now()
-					st = listing.Run(o, m, nil, listing.WithKernel(k))
+					st = listing.Run(o, m, nil, opts...)
 					ms := float64(time.Since(t0)) / float64(time.Millisecond)
 					if r == 0 || ms < best {
 						best = ms
@@ -120,7 +189,7 @@ func TableKernels(cfg KernelConfig) ([]KernelRow, error) {
 				if k == listing.KernelMerge {
 					base, baseMS, haveBase = st, best, true
 				} else if haveBase && st != base {
-					return nil, fmt.Errorf("experiments: kernel %v diverged from merge on %v/%v: %+v vs %+v",
+					return nil, nil, fmt.Errorf("experiments: kernel %v diverged from merge on %v/%v: %+v vs %+v",
 						k, trunc, m, st, base)
 				}
 				row := KernelRow{
@@ -132,6 +201,9 @@ func TableKernels(cfg KernelConfig) ([]KernelRow, error) {
 					BestMS:    best,
 					Speedup:   1,
 				}
+				if bitTier {
+					row.CoreThreshold = thresh
+				}
 				if baseMS > 0 && k != listing.KernelMerge {
 					row.Speedup = baseMS / best
 				}
@@ -139,63 +211,144 @@ func TableKernels(cfg KernelConfig) ([]KernelRow, error) {
 			}
 		}
 	}
-	return rows, nil
+	bench := &KernelsBench{
+		Schema:     KernelsSchema,
+		N:          cfg.N,
+		Alpha:      cfg.Alpha,
+		Seed:       cfg.Seed,
+		Reps:       cfg.Reps,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Rows:       make([]KernelCell, len(rows)),
+	}
+	for i, r := range rows {
+		bench.Rows[i] = KernelCell{
+			Truncation:    r.Trunc.String(),
+			Method:        r.Method.String(),
+			Kernel:        r.Kernel.String(),
+			Triangles:     r.Triangles,
+			ModelOps:      r.ModelOps,
+			CoreThreshold: r.CoreThreshold,
+			BestMS:        r.BestMS,
+			Speedup:       r.Speedup,
+		}
+	}
+	return bench, rows, nil
 }
 
 // FormatKernels renders rows as the aligned text table the CLI prints.
 func FormatKernels(rows []KernelRow) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "Kernel ablation — wall-clock per sweep, speedup vs merge (θ_D)\n")
-	fmt.Fprintf(&b, "%-8s %-6s %-7s %12s %14s %10s %9s\n",
-		"trunc", "method", "kernel", "triangles", "model-ops", "best-ms", "speedup")
+	fmt.Fprintf(&b, "%-8s %-6s %-7s %12s %14s %6s %10s %9s\n",
+		"trunc", "method", "kernel", "triangles", "model-ops", "tau", "best-ms", "speedup")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-8s %-6s %-7s %12d %14d %10.2f %8.2fx\n",
-			r.Trunc, r.Method, r.Kernel, r.Triangles, r.ModelOps, r.BestMS, r.Speedup)
+		tau := "-"
+		if r.CoreThreshold > 0 {
+			tau = fmt.Sprintf("%d", r.CoreThreshold)
+		}
+		fmt.Fprintf(&b, "%-8s %-6s %-7s %12d %14d %6s %10.2f %8.2fx\n",
+			r.Trunc, r.Method, r.Kernel, r.Triangles, r.ModelOps, tau, r.BestMS, r.Speedup)
 	}
 	return b.String()
 }
 
 // WriteKernelsCSV emits rows as CSV.
 func WriteKernelsCSV(w io.Writer, rows []KernelRow) error {
-	if _, err := fmt.Fprintln(w, "truncation,method,kernel,triangles,model_ops,best_ms,speedup_vs_merge"); err != nil {
+	if _, err := fmt.Fprintln(w, "truncation,method,kernel,triangles,model_ops,core_threshold,best_ms,speedup_vs_merge"); err != nil {
 		return err
 	}
 	for _, r := range rows {
-		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%.3f,%.3f\n",
-			r.Trunc, r.Method, r.Kernel, r.Triangles, r.ModelOps, r.BestMS, r.Speedup); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,%s,%s,%d,%d,%d,%.3f,%.3f\n",
+			r.Trunc, r.Method, r.Kernel, r.Triangles, r.ModelOps, r.CoreThreshold, r.BestMS, r.Speedup); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-// kernelJSON is the serialization of one row in BENCH_kernels.json.
-type kernelJSON struct {
-	Truncation string  `json:"truncation"`
-	Method     string  `json:"method"`
-	Kernel     string  `json:"kernel"`
-	Triangles  int64   `json:"triangles"`
-	ModelOps   int64   `json:"model_ops"`
-	BestMS     float64 `json:"best_ms"`
-	Speedup    float64 `json:"speedup_vs_merge"`
-}
-
-// WriteKernelsJSON emits rows as the BENCH_kernels.json baseline format:
-// a JSON array, one object per (truncation, method, kernel) cell.
-func WriteKernelsJSON(w io.Writer, rows []KernelRow) error {
-	out := make([]kernelJSON, len(rows))
-	for i, r := range rows {
-		out[i] = kernelJSON{
-			Truncation: r.Trunc.String(),
-			Method:     r.Method.String(),
-			Kernel:     r.Kernel.String(),
-			Triangles:  r.Triangles,
-			ModelOps:   r.ModelOps,
-			BestMS:     r.BestMS,
-			Speedup:    r.Speedup,
-		}
-	}
+// WriteKernelsJSON emits the bench document as indented JSON — the
+// BENCH_kernels.json format.
+func WriteKernelsJSON(w io.Writer, b *KernelsBench) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(b)
+}
+
+// ReadKernelsJSON parses a bench document. v1 baselines — a bare JSON
+// row array with no envelope — are accepted and surface with empty
+// Schema and zero workload/host fields.
+func ReadKernelsJSON(r io.Reader) (*KernelsBench, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: kernels bench: %w", err)
+	}
+	trimmed := strings.TrimSpace(string(raw))
+	if strings.HasPrefix(trimmed, "[") {
+		var rows []KernelCell
+		if err := json.Unmarshal(raw, &rows); err != nil {
+			return nil, fmt.Errorf("experiments: kernels bench (v1 array): %w", err)
+		}
+		return &KernelsBench{Rows: rows}, nil
+	}
+	var b KernelsBench
+	dec := json.NewDecoder(strings.NewReader(trimmed))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("experiments: kernels bench: %w", err)
+	}
+	if b.Schema != KernelsSchema {
+		return nil, fmt.Errorf("experiments: kernels bench schema %q, want %q", b.Schema, KernelsSchema)
+	}
+	return &b, nil
+}
+
+// ComparableKernelHosts reports whether wall-clock rows of the two
+// documents were measured on the same host shape. v1 baselines (no host
+// fields) are never comparable.
+func ComparableKernelHosts(cur, base *KernelsBench) bool {
+	return cur.NumCPU > 0 && cur.NumCPU == base.NumCPU &&
+		cur.GoMaxProcs > 0 && cur.GoMaxProcs == base.GoMaxProcs
+}
+
+// CompareKernels gates cur against base: every baseline cell must be
+// present in cur, and its Triangles/ModelOps must match exactly (when
+// the baseline recorded them) — those are deterministic per seed, so
+// they gate unconditionally. BestMS must not exceed the baseline by
+// more than the fractional tolerance (tol 0.25 = 25% slower allowed),
+// but only when the two documents agree on the host shape (see
+// ComparableKernelHosts — including every v1 baseline, which recorded
+// none): absolute kernel timings do not transfer across hosts. Speedup
+// is BestMS-derived and is never gated. The returned strings describe
+// the violations, sorted; empty means the gate passes. Cells only in
+// cur are fine — adding kernels is not a regression.
+func CompareKernels(cur, base *KernelsBench, tol float64) []string {
+	curByKey := make(map[string]KernelCell, len(cur.Rows))
+	for _, r := range cur.Rows {
+		curByKey[r.key()] = r
+	}
+	sameHost := ComparableKernelHosts(cur, base)
+	var out []string
+	for _, b := range base.Rows {
+		c, ok := curByKey[b.key()]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: missing from current run", b.key()))
+			continue
+		}
+		if b.Triangles != 0 && c.Triangles != b.Triangles {
+			out = append(out, fmt.Sprintf("%s: triangles %d, baseline %d", b.key(), c.Triangles, b.Triangles))
+		}
+		if b.ModelOps != 0 && c.ModelOps != b.ModelOps {
+			out = append(out, fmt.Sprintf("%s: model_ops %d, baseline %d", b.key(), c.ModelOps, b.ModelOps))
+		}
+		if !sameHost {
+			continue
+		}
+		if limit := b.BestMS * (1 + tol); b.BestMS > 0 && c.BestMS > limit {
+			out = append(out, fmt.Sprintf("%s: best_ms %.3f exceeds baseline %.3f by more than %.0f%%",
+				b.key(), c.BestMS, b.BestMS, tol*100))
+		}
+	}
+	slices.Sort(out)
+	return out
 }

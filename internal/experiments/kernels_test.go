@@ -1,0 +1,183 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"trilist/internal/listing"
+)
+
+func tinyKernelConfig() KernelConfig {
+	return KernelConfig{N: 1500, Seed: 7, Reps: 1}
+}
+
+// TestKernelsTableShape: the v2 document wraps one cell per
+// (truncation, method, kernel) with the host shape recorded, the
+// bit-parallel rows carry the planner-chosen threshold, and every
+// kernel of a (truncation, method) group agrees on triangles and model
+// cost — the ablation's built-in differential check.
+func TestKernelsTableShape(t *testing.T) {
+	cfg := tinyKernelConfig()
+	bench, rows, err := TableKernels(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bench.Schema != KernelsSchema || bench.NumCPU < 1 || bench.GoMaxProcs < 1 {
+		t.Errorf("fresh bench: schema %q, num_cpu %d, gomaxprocs %d", bench.Schema, bench.NumCPU, bench.GoMaxProcs)
+	}
+	if bench.N != 1500 || bench.Seed != 7 || bench.Reps != 1 || bench.Alpha != 1.5 {
+		t.Errorf("bench workload fields wrong: %+v", bench)
+	}
+	wantRows := 2 * 2 * len(listing.Kernels)
+	if len(rows) != wantRows || len(bench.Rows) != wantRows {
+		t.Fatalf("got %d typed / %d cell rows, want %d", len(rows), len(bench.Rows), wantRows)
+	}
+	type group struct{ trunc, method string }
+	tri := map[group]int64{}
+	ops := map[group]int64{}
+	for i, r := range rows {
+		c := bench.Rows[i]
+		if c.Truncation != r.Trunc.String() || c.Method != r.Method.String() || c.Kernel != r.Kernel.String() {
+			t.Errorf("cell %d disagrees with typed row: %+v vs %+v", i, c, r)
+		}
+		bitTier := r.Kernel == listing.KernelBits || r.Kernel == listing.KernelHybrid
+		if bitTier && r.CoreThreshold < 1 {
+			t.Errorf("%s/%v/%v: bit-tier row has threshold %d", c.Truncation, r.Method, r.Kernel, r.CoreThreshold)
+		}
+		if !bitTier && r.CoreThreshold != 0 {
+			t.Errorf("%s/%v/%v: list-kernel row has threshold %d", c.Truncation, r.Method, r.Kernel, r.CoreThreshold)
+		}
+		g := group{c.Truncation, c.Method}
+		if prev, ok := tri[g]; ok && (prev != r.Triangles || ops[g] != r.ModelOps) {
+			t.Errorf("%s/%s: kernel %v disagrees (%d tri / %d ops vs %d / %d)",
+				g.trunc, g.method, r.Kernel, r.Triangles, r.ModelOps, prev, ops[g])
+		}
+		tri[g], ops[g] = r.Triangles, r.ModelOps
+		if r.Kernel == listing.KernelMerge && r.Speedup != 1 {
+			t.Errorf("merge row speedup %v, want 1", r.Speedup)
+		}
+	}
+	if len(tri) != 4 {
+		t.Errorf("saw %d (truncation, method) groups, want 4", len(tri))
+	}
+}
+
+// TestKernelsJSONRoundTrip: Write → Read is the identity; v1 bare-array
+// baselines still parse (with unknown host); junk is rejected.
+func TestKernelsJSONRoundTrip(t *testing.T) {
+	bench, _, err := TableKernels(tinyKernelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteKernelsJSON(&buf, bench); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadKernelsJSON(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, bench) {
+		t.Errorf("round trip changed the document:\ngot  %+v\nwant %+v", got, bench)
+	}
+
+	// v1: a bare row array, as the original BENCH_kernels.json shipped.
+	v1 := `[{"truncation":"linear","method":"E2","kernel":"merge","triangles":10,"model_ops":20,"best_ms":1.5,"speedup_vs_merge":1}]`
+	old, err := ReadKernelsJSON(strings.NewReader(v1))
+	if err != nil {
+		t.Fatalf("v1 array rejected: %v", err)
+	}
+	if old.Schema != "" || old.NumCPU != 0 || len(old.Rows) != 1 || old.Rows[0].Kernel != "merge" {
+		t.Errorf("v1 read wrong: %+v", old)
+	}
+
+	if _, err := ReadKernelsJSON(strings.NewReader(`{"schema":"bogus/v9","rows":[]}`)); err == nil {
+		t.Error("wrong schema accepted")
+	}
+	if _, err := ReadKernelsJSON(strings.NewReader(`{"schema":"` + KernelsSchema + `","surprise":1}`)); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := ReadKernelsJSON(strings.NewReader(`not json`)); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// TestCompareKernelsGate: identical documents pass; triangle and
+// model-op drift and missing cells always fail; wall-clock rows are
+// gated only between same-shaped hosts (v1 baselines never are).
+func TestCompareKernelsGate(t *testing.T) {
+	base, _, err := TableKernels(tinyKernelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	copyBench := func(b *KernelsBench) *KernelsBench {
+		cp := *b
+		cp.Rows = append([]KernelCell(nil), b.Rows...)
+		return &cp
+	}
+
+	if v := CompareKernels(copyBench(base), base, 0.25); len(v) != 0 {
+		t.Errorf("identical run failed the gate: %v", v)
+	}
+
+	// Same host: a slowdown beyond tolerance is a violation.
+	slow := copyBench(base)
+	slow.Rows[0].BestMS = base.Rows[0].BestMS*2 + 1
+	v := CompareKernels(slow, base, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "best_ms") {
+		t.Errorf("2x slowdown not caught: %v", v)
+	}
+	// Foreign host (v1 baseline): the same slowdown is exempt...
+	foreign := copyBench(base)
+	foreign.NumCPU, foreign.GoMaxProcs = 0, 0
+	if v := CompareKernels(slow, foreign, 0.25); len(v) != 0 {
+		t.Errorf("cross-host timing gated: %v", v)
+	}
+	// ...but correctness drift and missing cells still bite.
+	drift := copyBench(base)
+	drift.Rows[0].Triangles++
+	drift.Rows[1].ModelOps++
+	v = CompareKernels(drift, foreign, 0.25)
+	if len(v) != 2 {
+		t.Errorf("correctness drift on foreign host: %v, want 2 violations", v)
+	}
+	missing := copyBench(base)
+	missing.Rows = missing.Rows[1:]
+	v = CompareKernels(missing, foreign, 0.25)
+	if len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Errorf("missing cell not caught cross-host: %v", v)
+	}
+	// Extra cells (new kernels) are never a regression.
+	extra := copyBench(base)
+	extra.Rows = append(extra.Rows, KernelCell{Truncation: "root", Method: "E1", Kernel: "quantum", BestMS: 1})
+	if v := CompareKernels(extra, base, 0.25); len(v) != 0 {
+		t.Errorf("extra cell flagged: %v", v)
+	}
+}
+
+// TestKernelsFormatAndCSV smoke-checks the two renderings, including
+// the planner threshold column.
+func TestKernelsFormatAndCSV(t *testing.T) {
+	_, rows, err := TableKernels(tinyKernelConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := FormatKernels(rows)
+	for _, want := range []string{"root", "linear", "merge", "hybrid", "bits", "tau"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, text)
+		}
+	}
+	var csv strings.Builder
+	if err := WriteKernelsCSV(&csv, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(csv.String(), "truncation,method,kernel,triangles,model_ops,core_threshold,best_ms,speedup_vs_merge\n") {
+		t.Errorf("CSV header wrong:\n%s", csv.String())
+	}
+	if lines := strings.Count(strings.TrimSpace(csv.String()), "\n"); lines != len(rows) {
+		t.Errorf("CSV has %d data lines, want %d", lines, len(rows))
+	}
+}

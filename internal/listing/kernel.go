@@ -47,12 +47,29 @@ const (
 	// scanning the remote. This adaptivity is what dominates any fixed
 	// strategy on power-law graphs.
 	KernelAuto
+	// KernelBits is the pure bit-parallel tier: every vertex whose
+	// remote-side degree reaches the core threshold (default 1, i.e.
+	// everything, clamped by the row-memory budget) carries a packed
+	// n-bit adjacency row, the anchor's base list is stamped into a
+	// per-worker bitset, and each window intersection is a word-wise
+	// AND + popcount walk over the pair's combined value range —
+	// up to 64 candidates per elementary operation. Windows whose
+	// remote owner has no row (budget-evicted) fall back to the merge.
+	KernelBits
+	// KernelHybrid splits core/fringe by the degree threshold: a window
+	// goes bit-parallel only when the remote owner has a packed row AND
+	// the word count of the pair's clamped value range undercuts the
+	// merge volume |window|+|remote| — the dense core, where the model
+	// says the comparisons live. Everything else falls back to
+	// KernelAuto's gallop/stamp-probe adaptivity, so the fringe keeps
+	// the best list strategy.
+	KernelHybrid
 
 	numKernels
 )
 
 // Kernels lists all kernels in declaration order.
-var Kernels = []Kernel{KernelMerge, KernelGallop, KernelBitmap, KernelAuto}
+var Kernels = []Kernel{KernelMerge, KernelGallop, KernelBitmap, KernelAuto, KernelBits, KernelHybrid}
 
 func (k Kernel) String() string {
 	switch k {
@@ -64,6 +81,10 @@ func (k Kernel) String() string {
 		return "bitmap"
 	case KernelAuto:
 		return "auto"
+	case KernelBits:
+		return "bits"
+	case KernelHybrid:
+		return "hybrid"
 	default:
 		return fmt.Sprintf("Kernel(%d)", int(k))
 	}
@@ -83,8 +104,12 @@ func ParseKernel(s string) (Kernel, error) {
 		return KernelGallop, nil
 	case "bitmap", "stamp":
 		return KernelBitmap, nil
+	case "bits", "bitset":
+		return KernelBits, nil
+	case "hybrid":
+		return KernelHybrid, nil
 	default:
-		return 0, fmt.Errorf("unknown kernel %q (want merge, gallop, bitmap, or auto)", s)
+		return 0, fmt.Errorf("unknown kernel %q (want merge, gallop, bitmap, auto, bits, or hybrid)", s)
 	}
 }
 
@@ -104,6 +129,13 @@ type arena struct {
 	pos   []int32  // pos[v] = index of v in the stamped base list
 	epoch []uint32 // epoch[v] == cur ⇔ v is in the stamped base list
 	cur   uint32
+	// Bit-kernel scratch, sized lazily by ensureBits: the anchor's base
+	// list as an n-bit set. Cleared incrementally by walking the
+	// previously stamped list (bitBase), so re-stamping costs
+	// O(|prev| + |base|) with no full clears — the bitset analogue of
+	// the epoch trick above.
+	bits    []uint64
+	bitBase []int32
 }
 
 // arenaPool recycles arenas across runs so repeated sweeps (Monte-Carlo
@@ -131,6 +163,29 @@ func (a *arena) ensure(n int) {
 	// cur must differ from the zeroed epoch array or an unstamped arena
 	// would report every node as a member.
 	a.cur = 1
+}
+
+// ensureBits sizes the bitset for nodes [0, n). A pooled arena may
+// carry stale set bits from a prior run; they stay tracked by bitBase
+// (adjacency lists are immutable), so the next stampBits clears them.
+func (a *arena) ensureBits(n int) {
+	words := (n + 63) / 64
+	if len(a.bits) < words {
+		a.bits = make([]uint64, words)
+		a.bitBase = nil
+	}
+}
+
+// stampBits records base as the current n-bit set, clearing the
+// previous stamp by walking it.
+func (a *arena) stampBits(base []int32) {
+	for _, v := range a.bitBase {
+		a.bits[v>>6] &^= 1 << uint(v&63)
+	}
+	for _, v := range base {
+		a.bits[v>>6] |= 1 << uint(v&63)
+	}
+	a.bitBase = base
 }
 
 // stamp records base as the current list. Stale stamps from prior
@@ -243,19 +298,39 @@ func gallopIntersect(a, b []int32, emit func(int32)) int64 {
 // current base adjacency list, stamped lazily on first bitmap use so
 // merge- or gallop-only anchors never pay for it.
 type intersector struct {
-	kern    Kernel
-	ar      *arena
-	base    []int32
-	stamped bool
+	kern       Kernel
+	ar         *arena
+	ba         *bitAdj // shared packed core rows; non-nil ⇔ bits/hybrid
+	base       []int32
+	stamped    bool // pos/epoch stamp valid for base
+	bitStamped bool // arena bitset stamp valid for base
+	// Tier accounting for bits/hybrid, folded into the run's TierStats
+	// at release.
+	corePairs   int64
+	fringePairs int64
 }
 
 // newIntersector builds one worker's engine for a graph on n nodes.
-func newIntersector(kern Kernel, n int) *intersector {
-	it := &intersector{kern: kern}
-	if kern == KernelBitmap || kern == KernelAuto {
+// ba carries the shared core rows and must be non-nil exactly for the
+// bit-parallel kernels.
+func newIntersector(kern Kernel, n int, ba *bitAdj) *intersector {
+	it := &intersector{kern: kern, ba: ba}
+	switch kern {
+	case KernelBitmap, KernelAuto:
 		it.ar = getArena(n)
+	case KernelBits, KernelHybrid:
+		it.ar = getArena(n)
+		it.ar.ensureBits(n)
 	}
 	return it
+}
+
+// arenaBytes reports this worker's scratch footprint for TierStats.
+func (it *intersector) arenaBytes() int64 {
+	if it.ar == nil {
+		return 0
+	}
+	return int64(len(it.ar.pos))*4 + int64(len(it.ar.epoch))*4 + int64(len(it.ar.bits))*8
 }
 
 // release returns pooled scratch; the intersector is dead afterwards.
@@ -271,12 +346,20 @@ func (it *intersector) release() {
 func (it *intersector) setBase(base []int32) {
 	it.base = base
 	it.stamped = false
+	it.bitStamped = false
 }
 
 func (it *intersector) ensureStamp() {
 	if !it.stamped {
 		it.ar.stamp(it.base)
 		it.stamped = true
+	}
+}
+
+func (it *intersector) ensureBitStamp() {
+	if !it.bitStamped {
+		it.ar.stampBits(it.base)
+		it.bitStamped = true
 	}
 }
 
@@ -300,7 +383,10 @@ func (it *intersector) probe(alo, ahi int, remote []int32, emit func(int32)) int
 // configured kernel, emitting each common element exactly once in
 // ascending order, and returns the merge-equivalent comparison count —
 // identical for every kernel, so Stats.Comparisons is kernel-invariant.
-func (it *intersector) win(alo, ahi int, remote []int32, emit func(int32)) int64 {
+// owner is the vertex whose side adjacency the remote list is a
+// (possibly trimmed) sublist of; the bit-parallel kernels use it to
+// look up the owner's packed core row.
+func (it *intersector) win(alo, ahi int, owner int32, remote []int32, emit func(int32)) int64 {
 	local := it.base[alo:ahi]
 	la, lr := len(local), len(remote)
 	if la == 0 || lr == 0 {
@@ -314,6 +400,25 @@ func (it *intersector) win(alo, ahi int, remote []int32, emit func(int32)) int64
 	case KernelBitmap:
 		it.ensureStamp()
 		return mergeComps(local, remote, it.probe(alo, ahi, remote, emit))
+	case KernelBits:
+		// Pure bit tier: word-parallel whenever the owner kept a row
+		// under the budget, classic merge for the evicted fringe.
+		if row := it.ba.rows[owner]; row != nil {
+			it.corePairs++
+			return it.bitWin(alo, ahi, row, remote, emit)
+		}
+		it.fringePairs++
+		return intersect(local, remote, emit)
+	case KernelHybrid:
+		// Core×core goes bit-parallel only when the clamped value range
+		// is cheaper in words than the merge is in comparisons; the
+		// fringe falls through to KernelAuto's adaptive list strategy.
+		if row := it.ba.rows[owner]; row != nil && spanWords(local, remote) <= la+lr {
+			it.corePairs++
+			return it.bitWin(alo, ahi, row, remote, emit)
+		}
+		it.fringePairs++
+		fallthrough
 	default: // KernelAuto: pick per pair by length ratio.
 		if la*skewRatio <= lr {
 			// Local window much shorter: galloping's la·log(lr) beats
@@ -338,7 +443,10 @@ type memberSet struct {
 }
 
 func newMemberSet(kern Kernel, n int) *memberSet {
-	if kern == KernelBitmap || kern == KernelAuto {
+	// The bit kernels have no LEI-specific structure (lookups are
+	// single-element probes, not intersections), so they share the
+	// arena membership path with bitmap/auto.
+	if kern == KernelBitmap || kern == KernelAuto || kern == KernelBits || kern == KernelHybrid {
 		return &memberSet{ar: getArena(n)}
 	}
 	return &memberSet{hash: hashset.NewNodeSet(16)}

@@ -20,6 +20,8 @@ func TestKernelStringAndParse(t *testing.T) {
 		{"merge", KernelMerge}, {"scan", KernelMerge},
 		{"gallop", KernelGallop}, {"galloping", KernelGallop}, {"binary", KernelGallop},
 		{"bitmap", KernelBitmap}, {"stamp", KernelBitmap},
+		{"bits", KernelBits}, {"bitset", KernelBits}, {"BITS", KernelBits},
+		{"hybrid", KernelHybrid}, {"Hybrid", KernelHybrid},
 	}
 	for _, c := range cases {
 		got, err := ParseKernel(c.in)
@@ -213,30 +215,135 @@ func TestAllKernelsEmitIdenticalTriangleSequence(t *testing.T) {
 
 func TestStatsInvariantAcrossKernelsAndWorkers(t *testing.T) {
 	// The satellite property: Stats and triangle counts must be bitwise
-	// identical across every kernel and every worker count, on both the
-	// paper's truncation regimes.
+	// identical across every kernel (including the bit-parallel tier)
+	// and every worker count, on an ER workload and both of the paper's
+	// truncation regimes.
 	p := degseq.StandardPareto(1.5)
-	for ti, trunc := range []degseq.Truncation{degseq.RootTruncation, degseq.LinearTruncation} {
-		g, _, err := gen.ParetoGraph(p, 600, trunc, rngFor(uint64(42+ti)))
-		if err != nil {
-			t.Fatal(err)
-		}
+	workloads := []struct {
+		name  string
+		build func() *graph.Graph
+	}{
+		{"er", func() *graph.Graph {
+			g, err := gen.ErdosRenyi(600, 3600, rngFor(41))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+		{"pareto-root", func() *graph.Graph {
+			g, _, err := gen.ParetoGraph(p, 600, degseq.RootTruncation, rngFor(42))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+		{"pareto-linear", func() *graph.Graph {
+			g, _, err := gen.ParetoGraph(p, 600, degseq.LinearTruncation, rngFor(43))
+			if err != nil {
+				t.Fatal(err)
+			}
+			return g
+		}},
+	}
+	for _, wl := range workloads {
+		g := wl.build()
 		o := orientBy(t, g, order.KindDescending, 1)
 		for _, m := range Methods {
 			ref := Run(o, m, nil, WithKernel(KernelMerge))
 			if ref.Triangles == 0 {
-				t.Fatalf("trunc %v: test graph has no triangles", trunc)
+				t.Fatalf("%s: test graph has no triangles", wl.name)
 			}
 			for _, k := range Kernels {
 				for _, workers := range []int{1, 2, 8} {
 					s := RunParallel(o, m, workers, nil, WithKernel(k))
 					if s != ref {
-						t.Fatalf("trunc %v method %v kernel %v workers %d: Stats %+v != serial merge %+v",
-							trunc, m, k, workers, s, ref)
+						t.Fatalf("%s method %v kernel %v workers %d: Stats %+v != serial merge %+v",
+							wl.name, m, k, workers, s, ref)
 					}
 				}
 			}
 		}
+	}
+}
+
+func TestBitTierThresholdAndStats(t *testing.T) {
+	p := degseq.StandardPareto(1.5)
+	g, _, err := gen.ParetoGraph(p, 600, degseq.LinearTruncation, rngFor(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := orientBy(t, g, order.KindDescending, 1)
+	m := E2
+	ref := Run(o, m, nil, WithKernel(KernelMerge))
+	maxSide := int32(0)
+	for v := int32(0); v < int32(o.NumNodes()); v++ {
+		if d := int32(o.OutDeg(v)); d > maxSide {
+			maxSide = d
+		}
+	}
+	for _, kern := range []Kernel{KernelBits, KernelHybrid} {
+		// Threshold edge cases: auto, all-core (τ=1), mid, all-fringe
+		// (τ beyond the max side degree) — Stats must never move.
+		for _, tau := range []int32{0, 1, 3, maxSide + 1} {
+			var ts TierStats
+			s := Run(o, m, nil, WithKernel(kern), WithCoreThreshold(tau), WithTierStats(&ts))
+			if s != ref {
+				t.Fatalf("kernel %v τ=%d: Stats %+v != merge %+v", kern, tau, s, ref)
+			}
+			if tau == maxSide+1 {
+				if ts.CoreVertices != 0 || ts.CorePairs != 0 {
+					t.Fatalf("kernel %v τ=%d: all-fringe run reports core work %+v", kern, tau, ts)
+				}
+			}
+			if tau == 1 && ts.CoreVertices == 0 {
+				t.Fatalf("kernel %v τ=1: no core vertices on a graph with edges", kern)
+			}
+			if ts.Threshold < 1 {
+				t.Fatalf("kernel %v τ=%d: effective threshold %d < 1", kern, tau, ts.Threshold)
+			}
+			if wantRows := int64((o.NumNodes() + 63) / 64 * 8); ts.RowBytes != ts.CoreVertices*wantRows {
+				t.Fatalf("kernel %v τ=%d: RowBytes %d != CoreVertices %d × row size %d",
+					kern, tau, ts.RowBytes, ts.CoreVertices, wantRows)
+			}
+		}
+		// A one-row budget must evict almost everything (fallback path)
+		// without moving Stats, and the tier split must be identical at
+		// any worker count.
+		var tight TierStats
+		s := Run(o, m, nil, WithKernel(kern), WithBitRowBudget(1), WithTierStats(&tight))
+		if s != ref {
+			t.Fatalf("kernel %v tight budget: Stats %+v != merge %+v", kern, s, ref)
+		}
+		if tight.RowBytes > 1 {
+			t.Fatalf("kernel %v: budget 1 byte but RowBytes %d", kern, tight.RowBytes)
+		}
+		var serial, par TierStats
+		Run(o, m, nil, WithKernel(kern), WithTierStats(&serial))
+		RunParallel(o, m, 8, nil, WithKernel(kern), WithTierStats(&par))
+		if serial.CorePairs != par.CorePairs || serial.FringePairs != par.FringePairs ||
+			serial.Threshold != par.Threshold || serial.CoreVertices != par.CoreVertices {
+			t.Fatalf("kernel %v: tier split moved with workers: serial %+v parallel %+v", kern, serial, par)
+		}
+		if serial.CorePairs == 0 {
+			t.Fatalf("kernel %v: default run answered no windows on the bit path", kern)
+		}
+	}
+	// A list kernel (and a reused sink) must come back with no tier
+	// split. Merge carries no scratch at all; the adaptive kernel's
+	// arena still reports as aux-state bytes.
+	reused := TierStats{CorePairs: 99}
+	Run(o, m, nil, WithKernel(KernelMerge), WithTierStats(&reused))
+	if reused != (TierStats{}) {
+		t.Fatalf("merge kernel left TierStats %+v", reused)
+	}
+	reused = TierStats{FringePairs: 7}
+	Run(o, m, nil, WithKernel(KernelAuto), WithTierStats(&reused))
+	if reused.ArenaBytes == 0 {
+		t.Fatalf("auto kernel reported no arena scratch")
+	}
+	reused.ArenaBytes = 0
+	if reused != (TierStats{}) {
+		t.Fatalf("auto kernel left a tier split without bit rows: %+v", reused)
 	}
 }
 
@@ -270,6 +377,10 @@ func FuzzKernelsAgainstBruteForce(f *testing.F) {
 	f.Add([]byte{5, 0, 1, 0, 2, 0, 3, 0, 4})             // star
 	f.Add([]byte{4, 0, 1, 0, 2, 0, 3, 1, 2, 1, 3, 2, 3}) // K4
 	f.Add([]byte{10, 1, 2, 2, 3, 1, 3, 1, 1, 200, 7, 255, 255})
+	// Dense core material for the bit-parallel kernels: K5 plus a
+	// pendant, and a hub star with a triangle through the hub.
+	f.Add([]byte{6, 0, 1, 0, 2, 0, 3, 0, 4, 1, 2, 1, 3, 1, 4, 2, 3, 2, 4, 3, 4, 4, 5})
+	f.Add([]byte{12, 0, 1, 0, 2, 0, 3, 0, 4, 0, 5, 0, 6, 0, 7, 1, 2})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		g := fuzzGraph(data)
 		var brute []triKey
@@ -305,6 +416,38 @@ func FuzzKernelsAgainstBruteForce(f *testing.F) {
 						if !got[k] {
 							t.Fatalf("order %v method %v kernel %v: missed %v", kind, m, kern, k)
 						}
+					}
+				}
+				if m.Family() != ScanningEdgeIterator {
+					continue
+				}
+				// Bit-tier threshold edge cases (n ≤ 24, so τ=25 is
+				// all-fringe, τ=1 all-core, τ=0 auto) plus a tiny row
+				// budget that evicts everything: triangles and Stats
+				// must match the merge kernel exactly.
+				ref := Run(o, m, nil, WithKernel(KernelMerge))
+				for _, kern := range []Kernel{KernelBits, KernelHybrid} {
+					for _, tau := range []int32{0, 1, 2, 25} {
+						got := make(map[triKey]bool)
+						s := Run(o, m, func(x, y, z int32) { got[triKey{x, y, z}] = true },
+							WithKernel(kern), WithCoreThreshold(tau))
+						if s != ref {
+							t.Fatalf("order %v method %v kernel %v τ=%d: Stats %+v != merge %+v",
+								kind, m, kern, tau, s, ref)
+						}
+						if len(got) != len(want) {
+							t.Fatalf("order %v method %v kernel %v τ=%d: %d triangles, brute force %d",
+								kind, m, kern, tau, len(got), len(want))
+						}
+						for k := range want {
+							if !got[k] {
+								t.Fatalf("order %v method %v kernel %v τ=%d: missed %v", kind, m, kern, tau, k)
+							}
+						}
+					}
+					if s := Run(o, m, nil, WithKernel(kern), WithBitRowBudget(8)); s != ref {
+						t.Fatalf("order %v method %v kernel %v budget=8: Stats %+v != merge %+v",
+							kind, m, kern, s, ref)
 					}
 				}
 			}

@@ -71,7 +71,7 @@ func runSEI(o *digraph.Oriented, m Method, it *intersector, visit Visitor, s *St
 				s.LocalScan += int64(j)
 				s.RemoteScan += int64(len(remote))
 				yy, zz := y, z
-				s.Comparisons += it.win(0, j, remote, func(x int32) {
+				s.Comparisons += it.win(0, j, y, remote, func(x int32) {
 					s.Triangles++
 					visit(x, yy, zz)
 				})
@@ -88,7 +88,7 @@ func runSEI(o *digraph.Oriented, m Method, it *intersector, visit Visitor, s *St
 				s.LocalScan += int64(len(local))
 				s.RemoteScan += int64(len(remote))
 				yy, zz := y, z
-				s.Comparisons += it.win(0, len(local), remote, func(x int32) {
+				s.Comparisons += it.win(0, len(local), z, remote, func(x int32) {
 					s.Triangles++
 					visit(x, yy, zz)
 				})
@@ -105,7 +105,7 @@ func runSEI(o *digraph.Oriented, m Method, it *intersector, visit Visitor, s *St
 				s.LocalScan += int64(len(in) - j - 1)
 				s.RemoteScan += int64(len(remote))
 				xx, yy := x, y
-				s.Comparisons += it.win(j+1, len(in), remote, func(z int32) {
+				s.Comparisons += it.win(j+1, len(in), y, remote, func(z int32) {
 					s.Triangles++
 					visit(xx, yy, z)
 				})
@@ -122,7 +122,7 @@ func runSEI(o *digraph.Oriented, m Method, it *intersector, visit Visitor, s *St
 				s.LocalScan += int64(len(out) - j - 1)
 				s.RemoteScan += int64(len(remote))
 				xx, zz := x, z
-				s.Comparisons += it.win(j+1, len(out), remote, func(y int32) {
+				s.Comparisons += it.win(j+1, len(out), x, remote, func(y int32) {
 					s.Triangles++
 					visit(xx, y, zz)
 				})
@@ -139,7 +139,7 @@ func runSEI(o *digraph.Oriented, m Method, it *intersector, visit Visitor, s *St
 				s.LocalScan += int64(len(local))
 				s.RemoteScan += int64(len(remote))
 				xx, yy := x, y
-				s.Comparisons += it.win(0, len(local), remote, func(z int32) {
+				s.Comparisons += it.win(0, len(local), x, remote, func(z int32) {
 					s.Triangles++
 					visit(xx, yy, z)
 				})
@@ -156,7 +156,7 @@ func runSEI(o *digraph.Oriented, m Method, it *intersector, visit Visitor, s *St
 				s.LocalScan += int64(j)
 				s.RemoteScan += int64(len(remote))
 				xx, zz := x, z
-				s.Comparisons += it.win(0, j, remote, func(y int32) {
+				s.Comparisons += it.win(0, j, z, remote, func(y int32) {
 					s.Triangles++
 					visit(xx, y, zz)
 				})

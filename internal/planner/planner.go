@@ -124,6 +124,12 @@ type Plan struct {
 	// method declaration order (T1..L6), then by Orders position, so a
 	// plan is a pure function of the degree histogram.
 	Ranking []Candidate
+	// Kernel is the priced intersection-kernel choice (kernel=auto
+	// resolution) with its core threshold and economics. Unlike
+	// Ranking, it depends on the calibrated per-operation costs of the
+	// host, so it is deliberately excluded from Format's golden output
+	// and from the BENCH_planner drift gate.
+	Kernel KernelPlan
 }
 
 // Best returns the predicted-cheapest candidate.
@@ -188,7 +194,8 @@ func Compute(g *graph.Graph, opts ...Option) (*Plan, error) {
 	if active == 0 || fit.Edges == 0 {
 		// No triangles, no cost: every candidate prices to zero and the
 		// canonical tie-break (T1+θ_D) wins.
-		return &Plan{Fit: fit, Ranking: zeroGrid()}, nil
+		return &Plan{Fit: fit, Ranking: zeroGrid(),
+			Kernel: KernelPlan{Kernel: listing.KernelAuto, CoreThreshold: 1, Coeffs: CalibrateKernels()}}, nil
 	}
 	emp, err := degseq.FromHistogram(hist)
 	if err != nil {
@@ -201,7 +208,8 @@ func Compute(g *graph.Graph, opts ...Option) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Fit: fit, Ranking: ranking}, nil
+	return &Plan{Fit: fit, Ranking: ranking,
+		Kernel: planKernel(emp, active, int64(fit.Nodes), CalibrateKernels())}, nil
 }
 
 // ComputeDist builds a plan directly from a finite-support degree
@@ -229,7 +237,8 @@ func ComputeDist(dist degseq.Dist, nodes int64, opts ...Option) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Plan{Fit: fit, Ranking: ranking}, nil
+	return &Plan{Fit: fit, Ranking: ranking,
+		Kernel: planKernel(dist, nodes, nodes, CalibrateKernels())}, nil
 }
 
 // grid enumerates the candidate cells in deterministic declaration

@@ -18,6 +18,7 @@ import (
 	"trilist/internal/listing"
 	"trilist/internal/obsv"
 	"trilist/internal/order"
+	"trilist/internal/planner"
 )
 
 // Sentinel errors the HTTP layer maps to status codes.
@@ -68,8 +69,13 @@ type JobSpec struct {
 	//	method=<name>,   order=<name>    exactly as requested
 	Order string `json:"order,omitempty"`
 	// Kernel is the intersection kernel: "merge", "gallop", "bitmap",
-	// or "auto" (default). Kernels change only wall-clock speed — the
-	// triangle set and every cost meter are kernel-invariant.
+	// "bits", "hybrid", or "auto" (default). Kernels change only
+	// wall-clock speed — the triangle set and every cost meter are
+	// kernel-invariant. On planner-driven jobs (method auto) "auto"
+	// resolves through the planner's priced kernel choice when the
+	// chosen method is a scanning-edge iterator; the resolution is
+	// reported as planned_kernel. Explicit kernel names always execute
+	// exactly as named.
 	Kernel string `json:"kernel,omitempty"`
 	// Seed feeds the uniform order's RNG; other orders ignore it.
 	Seed uint64 `json:"seed,omitempty"`
@@ -110,6 +116,11 @@ type Job struct {
 	// predicted is the plan's total model-op prediction for the pair.
 	planned   bool
 	predicted float64
+	// plannedKernel marks a kernel=auto job whose kernel came from the
+	// plan's priced choice; coreThresh is the τ that choice carries
+	// (only consumed by the bit-parallel kernels).
+	plannedKernel bool
+	coreThresh    int32
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -160,8 +171,12 @@ type JobView struct {
 	// PredictedActualRatio their quotient — the live validation signal
 	// also exported as the trid_planner_predicted_actual_ratio
 	// histogram. Actuals appear once the job is done.
-	PlannedMethod        string  `json:"planned_method,omitempty"`
-	PlannedOrder         string  `json:"planned_order,omitempty"`
+	PlannedMethod string `json:"planned_method,omitempty"`
+	PlannedOrder  string `json:"planned_order,omitempty"`
+	// PlannedKernel records the planner's priced kernel resolution on
+	// kernel=auto jobs (it matches Kernel; its presence marks the
+	// kernel as planner-chosen rather than client-named).
+	PlannedKernel        string  `json:"planned_kernel,omitempty"`
 	PredictedCost        float64 `json:"predicted_cost,omitempty"`
 	ActualAdvWork        int64   `json:"actual_adv_work,omitempty"`
 	PredictedActualRatio float64 `json:"predicted_actual_ratio,omitempty"`
@@ -213,6 +228,9 @@ func (j *Job) View() JobView {
 		v.PlannedMethod = j.method.String()
 		v.PlannedOrder = j.kind.String()
 		v.PredictedCost = j.predicted
+		if j.plannedKernel {
+			v.PlannedKernel = j.kernel.String()
+		}
 		if j.status == JobDone {
 			v.ActualAdvWork = j.stats.ModelOps()
 			if v.ActualAdvWork > 0 {
@@ -357,6 +375,7 @@ func (mgr *Manager) Enqueue(spec JobSpec) (*Job, error) {
 		method    listing.Method
 		planned   bool
 		predicted float64
+		kplan     *planner.KernelPlan
 	)
 	if spec.Parts > 0 {
 		// Partitioned jobs run the fixed E2-style block-merge sweep; the
@@ -389,6 +408,7 @@ func (mgr *Manager) Enqueue(spec JobSpec) (*Job, error) {
 		}
 		method, kind = c.Method, c.Order
 		planned, predicted = true, c.Total
+		kplan = &plan.Kernel
 	} else {
 		method, err = parseMethod(spec.Method)
 		if err != nil {
@@ -401,6 +421,22 @@ func (mgr *Manager) Enqueue(spec JobSpec) (*Job, error) {
 	kern, err := listing.ParseKernel(spec.Kernel)
 	if err != nil {
 		return nil, err
+	}
+	// kernel=auto on a planner-driven job resolves through the plan's
+	// priced kernel choice — but only when the planner put the job on a
+	// scanning-edge iterator: the other families do no list
+	// intersection, so the adaptive default already costs nothing.
+	// Explicit kernel names (and explicit-method jobs) bypass pricing
+	// and behave exactly as before.
+	var (
+		plannedKernel bool
+		coreThresh    int32
+	)
+	if kern == listing.KernelAuto && kplan != nil &&
+		method.Family() == listing.ScanningEdgeIterator {
+		kern = kplan.Kernel
+		coreThresh = kplan.CoreThreshold
+		plannedKernel = true
 	}
 	var isList bool
 	switch spec.Mode {
@@ -470,11 +506,15 @@ func (mgr *Manager) Enqueue(spec JobSpec) (*Job, error) {
 		parts:     spec.Parts,
 		planned:   planned,
 		predicted: predicted,
-		ctx:       ctx,
-		cancel:    cancel,
-		done:      make(chan struct{}),
-		status:    JobQueued,
-		queuedAt:  time.Now(),
+
+		plannedKernel: plannedKernel,
+		coreThresh:    coreThresh,
+
+		ctx:      ctx,
+		cancel:   cancel,
+		done:     make(chan struct{}),
+		status:   JobQueued,
+		queuedAt: time.Now(),
 	}
 	select {
 	case mgr.queue <- j:
@@ -578,6 +618,7 @@ func (mgr *Manager) runJob(j *Job) {
 	}
 	start := time.Now()
 	var st listing.Stats
+	var tier listing.TierStats
 	var runErr error
 	if j.parts > 0 {
 		// Partitioned sweep: block-triple schedule on the scatter/gather
@@ -612,7 +653,8 @@ func (mgr *Manager) runJob(j *Job) {
 		}
 	} else {
 		st, runErr = listing.RunParallelCtx(j.ctx, o, j.method, j.spec.Workers, visit,
-			listing.WithKernel(j.kernel), listing.WithRecorder(rec))
+			listing.WithKernel(j.kernel), listing.WithRecorder(rec),
+			listing.WithCoreThreshold(j.coreThresh), listing.WithTierStats(&tier))
 	}
 
 	snap := rec.Snapshot()
@@ -629,6 +671,13 @@ func (mgr *Manager) runJob(j *Job) {
 		mgr.m.kernelDuration.With(j.kernel.String()).Observe(time.Since(start).Seconds())
 		mgr.m.jobsByKernel.With(j.kernel.String()).Inc()
 		mgr.m.trianglesListed.Add(st.Triangles)
+		if j.kernel == listing.KernelBits || j.kernel == listing.KernelHybrid {
+			// TierStats are zeroed unless the sweep actually built the
+			// bit tier, so the gauge tracks the latest bit-parallel run.
+			mgr.m.kernelCoreVertices.Set(tier.CoreVertices)
+			mgr.m.kernelTierTotal.With("core").Add(tier.CorePairs)
+			mgr.m.kernelTierTotal.With("fringe").Add(tier.FringePairs)
+		}
 		for stage, ss := range snap {
 			mgr.m.stageDuration.With(string(stage)).Observe(ss.Wall.Seconds())
 		}

@@ -1,10 +1,13 @@
 // BenchmarkKernels compares the neighbor-intersection kernels (merge,
-// gallop, bitmap, auto) on the paper's two truncation regimes. The model
-// cost is kernel-invariant by construction — these benches measure the
-// constant-factor wall-clock freedom the kernels exploit. The recorded
-// baseline lives in BENCH_kernels.json (regenerate with
+// gallop, bitmap, auto, bits, hybrid) on the paper's two truncation
+// regimes. The model cost is kernel-invariant by construction — these
+// benches measure the constant-factor wall-clock freedom the kernels
+// exploit, and report each kernel's auxiliary state (packed bit rows +
+// arena scratch) as aux-B/op. The recorded baseline lives in
+// BENCH_kernels.json (regenerate with
 // `go run ./cmd/experiments -table kernels -csv .`); the acceptance bar
-// is auto >= 1.3x merge on the linear-truncation graph.
+// is auto >= 1.3x merge on the linear-truncation graph and
+// hybrid >= 1.5x merge there at the planner-chosen threshold.
 package trilist_test
 
 import (
@@ -31,12 +34,16 @@ func BenchmarkKernels(b *testing.B) {
 			for _, k := range listing.Kernels {
 				b.Run(fmt.Sprintf("%s/%v/%v", tc.name, m, k), func(b *testing.B) {
 					var tri int64
+					var tier listing.TierStats
 					for i := 0; i < b.N; i++ {
-						tri = listing.Run(o, m, nil, listing.WithKernel(k)).Triangles
+						tri = listing.Run(o, m, nil, listing.WithKernel(k), listing.WithTierStats(&tier)).Triangles
 					}
 					if tri != want {
 						b.Fatalf("kernel %v found %d triangles, merge found %d", k, tri, want)
 					}
+					// Auxiliary sweep state beyond the CSR: packed bit rows
+					// (bits/hybrid) plus per-worker arena scratch.
+					b.ReportMetric(float64(tier.RowBytes+tier.ArenaBytes), "aux-B/op")
 				})
 			}
 		}
